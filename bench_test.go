@@ -1,0 +1,358 @@
+package reap
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus microbenchmarks for the on-device costs the paper quotes (Algorithm
+// 1's 1.5 ms at 5 design points and 8 ms at 100; Table 2's per-stage MCU
+// times). Absolute times come from the host CPU, not a 47 MHz CC2650 —
+// the scaling shapes are what these benchmarks pin down.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ble"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/eval"
+	"repro/internal/har"
+	"repro/internal/nn"
+	"repro/internal/solar"
+	"repro/internal/synth"
+)
+
+var (
+	benchDSOnce sync.Once
+	benchDS     *synth.Dataset
+	benchDSErr  error
+)
+
+// benchCorpus shares the paper-scale corpus across benchmarks so corpus
+// generation does not dominate the training measurements.
+func benchCorpus(b *testing.B) *synth.Dataset {
+	b.Helper()
+	benchDSOnce.Do(func() {
+		benchDS, benchDSErr = synth.NewDataset(synth.DefaultCorpusConfig())
+	})
+	if benchDSErr != nil {
+		b.Fatal(benchDSErr)
+	}
+	return benchDS
+}
+
+// BenchmarkTable2 regenerates Table 2: train + price the five Pareto
+// design points on the 14-user corpus.
+func BenchmarkTable2(b *testing.B) {
+	ds := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Table2On(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the full 24-point design space.
+func BenchmarkFigure3(b *testing.B) {
+	ds := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure3On(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: DP1's hourly energy breakdown.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5a regenerates Figure 5(a)/(b): the α=1 energy sweep of
+// expected accuracy and active time for REAP and the static points.
+func BenchmarkFigure5a(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure5(cfg, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5b isolates the active-time normalization view (the same
+// sweep re-rendered; measured separately so regressions in rendering do
+// not hide in Figure5a).
+func BenchmarkFigure5b(b *testing.B) {
+	cfg := DefaultConfig()
+	res, err := eval.Figure5(cfg, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.Render() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the α=2 normalized objective.
+func BenchmarkFigure6(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure6(cfg, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: the month-long solar case study
+// across five α values and three baselines.
+func BenchmarkFigure7(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Figure7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadline recomputes the abstract's headline gains.
+func BenchmarkHeadline(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Headline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDutyCycle measures the design-set ablation (on/off
+// single-DP baselines versus the full Pareto set) over ten solar days.
+func BenchmarkAblationDutyCycle(b *testing.B) {
+	tr, err := solar.September2015()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	budgets := tr.Hours[:240]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AblationOn(cfg, budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve5DPs is Algorithm 1 at the paper's operating point: five
+// design points (1.5 ms on the CC2650 prototype).
+func BenchmarkSolve5DPs(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(cfg, 5.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve100DPs is the paper's scaling claim: 100 design points
+// stayed under 8 ms on the MCU, ~5x the 5-DP cost.
+func BenchmarkSolve100DPs(b *testing.B) {
+	cfg := core.Config{Period: 3600, POff: core.DefaultPOff, Alpha: 1}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		cfg.DPs = append(cfg.DPs, core.DesignPoint{
+			Name:     "dp",
+			Accuracy: 0.5 + rng.Float64()*0.5,
+			Power:    1e-3 + rng.Float64()*2e-3,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(cfg, 5.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveEnumerate5DPs measures the independent O(N²) solver at
+// the same operating point.
+func BenchmarkSolveEnumerate5DPs(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveEnumerate(cfg, 5.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerStep measures one closed-loop hour: budget folding,
+// LP solve and accounting.
+func BenchmarkControllerStep(b *testing.B) {
+	ctl, err := NewController(DefaultConfig(), 20, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := ctl.Step(4.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ctl.Report(alloc.Energy(ctl.Config())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeatureExtractionDP1 is Table 2's feature-generation stage for
+// the richest design point (paper: 0.83 ms accel + 3.83 ms stretch on the
+// MCU).
+func BenchmarkFeatureExtractionDP1(b *testing.B) {
+	w := synth.Generate(synth.NewUserProfile(0, 1), synth.Walk, rand.New(rand.NewSource(2)))
+	cfg := har.PaperFive()[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Extract(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNInference is Table 2's classifier stage (paper: ~1 ms).
+func BenchmarkNNInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := nn.New([]int{30, 12, 7}, nn.ReLU, nn.Softmax, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFFT16 is the stretch-sensor feature kernel (paper: 3.83 ms on
+// the MCU, the dominant MCU stage).
+func BenchmarkFFT16(b *testing.B) {
+	w := synth.Generate(synth.NewUserProfile(0, 1), synth.Walk, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.RealFFTMagnitudes(w.Stretch, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShadowPrice measures the dual-value extraction extension.
+func BenchmarkShadowPrice(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ShadowPrice(cfg, 5.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookahead24h measures the joint 24-hour planning LP
+// (149 variables, 73 constraints with the five paper design points).
+func BenchmarkLookahead24h(b *testing.B) {
+	cfg := DefaultConfig()
+	tr, err := solar.September2015()
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := tr.Hours[24:48]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Lookahead(cfg, 20, 200, day); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantizedInference compares with BenchmarkNNInference: the
+// int8 path of the precision-knob extension.
+func BenchmarkQuantizedInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := nn.New([]int{30, 12, 7}, nn.ReLU, nn.Softmax, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := nn.Quantize(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoertzel6 prices the partial-spectrum stretch feature.
+func BenchmarkGoertzel6(b *testing.B) {
+	w := synth.Generate(synth.NewUserProfile(0, 1), synth.Walk, rand.New(rand.NewSource(6)))
+	bins := []int{0, 1, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.GoertzelMagnitudes(w.Stretch, 16, bins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBLETransferRaw prices the packet-level offloading transfer
+// under 10% loss.
+func BenchmarkBLETransferRaw(b *testing.B) {
+	cfg := ble.Config{LossRate: 0.1, MaxRetries: 5}
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = int64(i)
+		if _, err := ble.Transfer(c, 1280); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonthClosedLoop measures a full simulated September with the
+// runtime controller (720 re-optimizations plus accounting).
+func BenchmarkMonthClosedLoop(b *testing.B) {
+	tr, err := solar.September2015()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl, err := NewController(DefaultConfig(), 20, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range tr.Hours {
+			alloc, err := ctl.Step(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ctl.Report(alloc.Energy(ctl.Config())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command characterize regenerates Table 2 and Figure 3 of the paper:
+// it builds the synthetic user-study corpus, trains all 24 design points,
+// prices them with the component energy model, and prints the full
+// energy-accuracy scatter plus the Pareto-optimal set.
+//
+// Usage:
+//
+//	characterize [-users 14] [-windows 3553] [-seed 2019] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/har"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	users := flag.Int("users", 14, "number of synthetic subjects")
+	windows := flag.Int("windows", 3553, "total labeled activity windows")
+	seed := flag.Int64("seed", 2019, "corpus seed")
+	all := flag.Bool("all", true, "characterize all 24 design points (false: just the published five)")
+	flag.Parse()
+
+	ds, err := synth.NewDataset(synth.CorpusConfig{
+		NumUsers: *users, TotalWindows: *windows, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("corpus: %d windows from %d users (train/val/test %d/%d/%d)",
+		len(ds.Windows), len(ds.Users), len(ds.Train), len(ds.Val), len(ds.Test))
+
+	specs := har.PaperFive()
+	if *all {
+		specs = har.AllSpecs()
+	}
+	points, err := har.Characterize(ds, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "name\taxes\tsense%\taccel\tstretch\tnn\tacc%\tE/act(mJ)\tpower(mW)\tmcu(ms)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%v\t%v\t%v\t%.1f\t%.2f\t%.2f\t%.2f\n",
+			p.Spec.Name, p.Spec.Features.Axes, 100*p.Spec.Features.SensingFraction,
+			p.Spec.Features.AccelFeat, p.Spec.Features.StretchFeat, p.Spec.NNSizes(),
+			100*p.Accuracy, 1e3*p.EnergyPerActivity(), 1e3*p.Power(), 1e3*p.Breakdown.TimeTotal)
+	}
+	w.Flush()
+
+	front := har.ParetoFront(points)
+	fmt.Println("\nPareto front (decreasing power):")
+	for _, p := range front {
+		fmt.Printf("  %-14s acc %.1f%%  %.2f mW\n", p.Spec.Name, 100*p.Accuracy, 1e3*p.Power())
+	}
+}

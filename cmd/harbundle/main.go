@@ -1,0 +1,99 @@
+// Command harbundle manages deployable design-point bundles: it trains
+// the five Pareto design points on the synthetic corpus and writes them to
+// a JSON bundle file (-train), or loads a bundle and classifies a live
+// synthetic activity stream with it (-classify), printing per-design-point
+// accuracy. The bundle is what a real deployment would flash.
+//
+// Usage:
+//
+//	harbundle -train bundle.json [-users 14] [-windows 3553] [-seed 2019]
+//	harbundle -classify bundle.json [-stream 200] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/har"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	trainPath := flag.String("train", "", "train the paper's five design points and write this bundle")
+	classifyPath := flag.String("classify", "", "load this bundle and classify a live stream")
+	users := flag.Int("users", 14, "corpus users (train)")
+	windows := flag.Int("windows", 3553, "corpus windows (train)")
+	seed := flag.Int64("seed", 2019, "corpus / stream seed")
+	stream := flag.Int("stream", 200, "windows to classify per design point (classify)")
+	flag.Parse()
+
+	switch {
+	case *trainPath != "":
+		train(*trainPath, *users, *windows, *seed)
+	case *classifyPath != "":
+		classify(*classifyPath, *stream, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func train(path string, users, windows int, seed int64) {
+	ds, err := synth.NewDataset(synth.CorpusConfig{NumUsers: users, TotalWindows: windows, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := har.Characterize(ds, har.PaperFive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := make([]*har.Model, len(points))
+	for i, p := range points {
+		models[i] = p.Model
+		fmt.Printf("trained %-4s test accuracy %.1f%%  power %.2f mW\n",
+			p.Spec.Name, 100*p.Accuracy, 1e3*p.Power())
+	}
+	data, err := har.SaveModels(models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d design points)\n", path, len(data), len(models))
+}
+
+func classify(path string, stream int, seed int64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := har.LoadModels(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// A fresh user the bundle has never seen.
+	user := synth.NewUserProfile(999, seed)
+	fmt.Printf("classifying %d live windows per design point (unseen user):\n", stream)
+	for _, m := range models {
+		correct := 0
+		for k := 0; k < stream; k++ {
+			truth := synth.Activities()[rng.Intn(synth.NumActivities)]
+			w := synth.Generate(user, truth, rng)
+			pred, err := m.Classify(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pred == truth {
+				correct++
+			}
+		}
+		fmt.Printf("  %-4s %d/%d correct (%.1f%%)  [trained test acc %.1f%%]\n",
+			m.Spec.Name, correct, stream, 100*float64(correct)/float64(stream), 100*m.TestAcc)
+	}
+}

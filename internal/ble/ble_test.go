@@ -1,0 +1,170 @@
+package ble
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationPoints(t *testing.T) {
+	// The link model must reproduce the paper's two measurements on a
+	// clean link: 0.38 mJ per recognized-activity label, ~5.5 mJ per raw
+	// window.
+	if e := LabelEnergy() * 1e3; math.Abs(e-0.38) > 0.38*0.1 {
+		t.Errorf("label energy %.3f mJ, want ~0.38", e)
+	}
+	if e := RawWindowEnergy() * 1e3; math.Abs(e-5.5) > 5.5*0.1 {
+		t.Errorf("raw window energy %.3f mJ, want ~5.5", e)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LossRate: -0.1},
+		{LossRate: 1.0},
+		{LossRate: math.NaN()},
+		{MaxRetries: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := Transfer(c, 10); err == nil {
+			t.Errorf("Transfer accepted case %d", i)
+		}
+		if _, err := ExpectedEnergy(c, 10); err == nil {
+			t.Errorf("ExpectedEnergy accepted case %d", i)
+		}
+	}
+	if _, err := Transfer(Config{}, -1); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	cases := []struct {
+		bytes, pdus int
+	}{
+		{0, 0}, {1, 1}, {27, 1}, {28, 2}, {54, 2}, {1280, 48},
+	}
+	for _, tc := range cases {
+		res, err := Transfer(Config{}, tc.bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PDUs != tc.pdus {
+			t.Errorf("%d bytes -> %d PDUs, want %d", tc.bytes, res.PDUs, tc.pdus)
+		}
+		if !res.Delivered {
+			t.Errorf("%d bytes undelivered on a clean link", tc.bytes)
+		}
+		if res.Transmissions != res.PDUs {
+			t.Errorf("%d bytes: %d transmissions on a clean link, want %d",
+				tc.bytes, res.Transmissions, res.PDUs)
+		}
+	}
+}
+
+func TestZeroPayloadIsFree(t *testing.T) {
+	res, err := Transfer(Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != 0 || res.AirTime != 0 {
+		t.Fatalf("zero payload cost %v J / %v s", res.Energy, res.AirTime)
+	}
+	e, err := ExpectedEnergy(Config{}, 0)
+	if err != nil || e != 0 {
+		t.Fatalf("expected energy %v, err %v", e, err)
+	}
+}
+
+func TestLossCausesRetransmissions(t *testing.T) {
+	lossy := Config{LossRate: 0.3, MaxRetries: 10, Seed: 5}
+	res, err := Transfer(lossy, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatal("48 PDUs with 10 retries at 30% loss should deliver")
+	}
+	if res.Transmissions <= res.PDUs {
+		t.Fatalf("no retransmissions at 30%% loss: %d tx for %d PDUs",
+			res.Transmissions, res.PDUs)
+	}
+	clean, err := Transfer(Config{}, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy <= clean.Energy {
+		t.Fatalf("lossy transfer (%v J) not more expensive than clean (%v J)",
+			res.Energy, clean.Energy)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	// 90% loss with zero retries: most PDUs of a large payload fail.
+	hostile := Config{LossRate: 0.9, MaxRetries: 0, Seed: 7}
+	res, err := Transfer(hostile, 1280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("48 PDUs at 90% loss with no retries reported delivered")
+	}
+	if res.Transmissions != res.PDUs {
+		t.Fatal("zero-retry config retransmitted")
+	}
+}
+
+func TestExpectedEnergyMatchesSimulation(t *testing.T) {
+	// Monte-Carlo mean of Transfer must converge to ExpectedEnergy.
+	cfg := Config{LossRate: 0.2, MaxRetries: 8}
+	want, err := ExpectedEnergy(cfg, 540)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = int64(i)
+		res, err := Transfer(c, 540)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Energy
+	}
+	got := sum / trials
+	if math.Abs(got-want) > 0.02*want {
+		t.Fatalf("simulated mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestExpectedEnergyMonotoneInLoss(t *testing.T) {
+	prev := -1.0
+	for loss := 0.0; loss < 0.9; loss += 0.1 {
+		e, err := ExpectedEnergy(Config{LossRate: loss, MaxRetries: 20}, 1280)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= prev {
+			t.Fatalf("energy not increasing with loss at %v", loss)
+		}
+		prev = e
+	}
+}
+
+func TestTransferDeterministic(t *testing.T) {
+	cfg := Config{LossRate: 0.4, MaxRetries: 5, Seed: 42}
+	a, err := Transfer(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transfer(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.Transmissions != b.Transmissions {
+		t.Fatal("same seed diverged")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller is the runtime side of REAP: once per activity period it
+// receives the energy made available by the harvesting subsystem, folds in
+// the accounting surplus or deficit of the previous period (planned versus
+// actually consumed energy), solves the allocation LP, and hands the
+// schedule to the device.
+//
+// The paper re-optimizes every hour because "the available energy budget is
+// not known at design time" and because α may change with user preference;
+// both paths are exposed here (Step and SetAlpha).
+type Controller struct {
+	cfg Config
+
+	// carry is the energy accounting balance in joules: positive when the
+	// previous period consumed less than planned (e.g. the device was
+	// docked), negative when it overshot.
+	carry float64
+	// battery tracks the backup battery state of charge in joules; the
+	// carry is bounded by what the battery can absorb.
+	battery    float64
+	capacityJ  float64
+	lastAlloc  Allocation
+	lastBudget float64
+	steps      int
+}
+
+// NewController creates a runtime controller. batteryJ is the initial
+// battery charge and capacityJ its capacity, both in joules; a zero
+// capacity models the battery-less class of harvesting devices (any
+// surplus is lost).
+func NewController(cfg Config, batteryJ, capacityJ float64) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if capacityJ < 0 || batteryJ < 0 || batteryJ > capacityJ+1e-9 {
+		return nil, fmt.Errorf("core: invalid battery state %v/%v", batteryJ, capacityJ)
+	}
+	return &Controller{cfg: cfg, battery: batteryJ, capacityJ: capacityJ}, nil
+}
+
+// Config returns the controller's current configuration.
+func (ct *Controller) Config() Config { return ct.cfg }
+
+// Battery returns the current battery charge in joules.
+func (ct *Controller) Battery() float64 { return ct.battery }
+
+// Steps returns the number of periods stepped so far.
+func (ct *Controller) Steps() int { return ct.steps }
+
+// LastBudget returns the budget used in the most recent Step.
+func (ct *Controller) LastBudget() float64 { return ct.lastBudget }
+
+// SetAlpha changes the accuracy/active-time emphasis for subsequent
+// periods, modelling a user-preference update at runtime.
+func (ct *Controller) SetAlpha(alpha float64) error {
+	if alpha < 0 || math.IsNaN(alpha) {
+		return fmt.Errorf("core: alpha %v must be non-negative", alpha)
+	}
+	ct.cfg.Alpha = alpha
+	return nil
+}
+
+// Step plans the next activity period. harvested is the energy (J) the
+// harvesting subsystem expects to collect during the period. The budget
+// handed to the optimizer is the harvested energy plus whatever the battery
+// can contribute, corrected by the previous period's accounting balance.
+func (ct *Controller) Step(harvested float64) (Allocation, error) {
+	if harvested < 0 || math.IsNaN(harvested) {
+		return Allocation{}, fmt.Errorf("core: harvested energy %v must be non-negative", harvested)
+	}
+	budget := harvested + ct.battery + ct.carry
+	if budget < 0 {
+		budget = 0
+	}
+	alloc, err := Solve(ct.cfg, budget)
+	if err != nil {
+		return Allocation{}, err
+	}
+	ct.lastAlloc = alloc
+	ct.lastBudget = budget
+	ct.carry = 0
+	ct.steps++
+
+	// Provisional accounting: assume the plan executes exactly. Report
+	// corrects this when the device reports measured consumption.
+	planned := alloc.Energy(ct.cfg)
+	ct.settle(harvested, planned)
+	return alloc, nil
+}
+
+// Report records the energy actually consumed during the period that
+// Step most recently planned, correcting the provisional accounting. The
+// difference between planned and measured consumption becomes a carry for
+// the next period — the feedback loop that keeps long-horizon operation
+// energy-neutral even when the device deviates from the plan.
+func (ct *Controller) Report(consumed float64) error {
+	if consumed < 0 || math.IsNaN(consumed) {
+		return fmt.Errorf("core: consumed energy %v must be non-negative", consumed)
+	}
+	planned := ct.lastAlloc.Energy(ct.cfg)
+	ct.carry += planned - consumed
+	return nil
+}
+
+// settle updates the battery after a period that harvested `in` joules and
+// consumed `out` joules. Net surplus charges the battery up to capacity
+// (overflow is lost — the harvester cannot store it); net deficit drains it.
+func (ct *Controller) settle(in, out float64) {
+	ct.battery += in - out
+	if ct.battery > ct.capacityJ {
+		ct.battery = ct.capacityJ
+	}
+	if ct.battery < 0 {
+		ct.battery = 0
+	}
+}

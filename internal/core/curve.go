@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Knot is one vertex of the optimal-objective curve J*(Eb).
+type Knot struct {
+	// Budget is the energy at the knot (J).
+	Budget float64
+	// J is the optimal objective value there.
+	J float64
+}
+
+// ObjectiveCurve computes the entire J*(Eb) function in closed form.
+//
+// The LP's optimal value is a concave piecewise-linear function of the
+// budget, and its basis can only change where some design point
+// saturates (its time hits TP) — i.e. at the idle floor and at the
+// saturation energies Pᵢ·TP. Evaluating the optimum at those candidate
+// knots and interpolating linearly in between therefore reproduces the
+// whole curve, replacing a budget sweep of simplex solves with one
+// O(N²) pass. Figures 5 and 6 are cross-sections of this curve.
+func ObjectiveCurve(c Config) ([]Knot, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	candidates := []float64{0, c.MinBudget()}
+	for _, d := range c.DPs {
+		candidates = append(candidates, d.EnergyPerPeriod(c.Period))
+	}
+	sort.Float64s(candidates)
+	var knots []Knot
+	for _, b := range candidates {
+		// Skip duplicates (DPs with equal power).
+		if len(knots) > 0 && math.Abs(b-knots[len(knots)-1].Budget) < 1e-12 {
+			continue
+		}
+		alloc, err := SolveEnumerate(c, b)
+		if err != nil {
+			return nil, err
+		}
+		knots = append(knots, Knot{Budget: b, J: alloc.Objective(c)})
+	}
+	return knots, nil
+}
+
+// EvalCurve interpolates J*(budget) on a curve from ObjectiveCurve.
+// Budgets beyond the last knot saturate at the final value.
+func EvalCurve(knots []Knot, budget float64) (float64, error) {
+	if len(knots) == 0 {
+		return 0, fmt.Errorf("core: empty curve")
+	}
+	if math.IsNaN(budget) || budget < 0 {
+		return 0, fmt.Errorf("core: budget %v must be non-negative", budget)
+	}
+	if budget <= knots[0].Budget {
+		return knots[0].J, nil
+	}
+	for i := 1; i < len(knots); i++ {
+		if budget <= knots[i].Budget {
+			lo, hi := knots[i-1], knots[i]
+			frac := (budget - lo.Budget) / (hi.Budget - lo.Budget)
+			return lo.J + frac*(hi.J-lo.J), nil
+		}
+	}
+	return knots[len(knots)-1].J, nil
+}
+
+// CurveIsConcave verifies the concavity invariant of a curve (used by
+// tests and as a cheap self-check after construction): successive slopes
+// must be non-increasing. The LP value function is concave only on its
+// feasible domain Eb ≥ floor; the leading dead-region segment (flat zero
+// from 0 to the idle floor) is excluded from the check.
+func CurveIsConcave(knots []Knot) bool {
+	for len(knots) > 1 && knots[0].J == 0 && knots[1].J == 0 {
+		knots = knots[1:]
+	}
+	prev := math.Inf(1)
+	for i := 1; i < len(knots); i++ {
+		db := knots[i].Budget - knots[i-1].Budget
+		if db <= 0 {
+			return false
+		}
+		slope := (knots[i].J - knots[i-1].J) / db
+		if slope > prev+1e-9 {
+			return false
+		}
+		prev = slope
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestObjectiveCurveMatchesLPSweep(t *testing.T) {
+	// The closed-form curve must agree with the simplex at arbitrary
+	// budgets, across α values.
+	for _, alpha := range []float64{0, 0.5, 1, 2, 8} {
+		c := DefaultConfig()
+		c.Alpha = alpha
+		knots, err := ObjectiveCurve(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CurveIsConcave(knots) {
+			t.Fatalf("alpha %v: curve not concave: %v", alpha, knots)
+		}
+		rng := rand.New(rand.NewSource(int64(10 * alpha)))
+		for trial := 0; trial < 100; trial++ {
+			budget := rng.Float64() * 12
+			fromCurve, err := EvalCurve(knots, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alloc, err := Solve(c, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fromCurve-alloc.Objective(c)) > 1e-6 {
+				t.Fatalf("alpha %v budget %v: curve %v vs LP %v",
+					alpha, budget, fromCurve, alloc.Objective(c))
+			}
+		}
+	}
+}
+
+func TestObjectiveCurveQuickRandomConfigs(t *testing.T) {
+	f := func(seed int64) bool {
+		c, _ := randomConfig(seed)
+		knots, err := ObjectiveCurve(c)
+		if err != nil {
+			return false
+		}
+		if !CurveIsConcave(knots) {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		for trial := 0; trial < 10; trial++ {
+			budget := rng.Float64() * c.MaxUsefulBudget() * 1.2
+			fromCurve, err := EvalCurve(knots, budget)
+			if err != nil {
+				return false
+			}
+			alloc, err := Solve(c, budget)
+			if err != nil {
+				return false
+			}
+			if math.Abs(fromCurve-alloc.Objective(c)) > 1e-6*(1+fromCurve) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalCurveEdges(t *testing.T) {
+	if _, err := EvalCurve(nil, 1); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+	knots := []Knot{{Budget: 1, J: 0}, {Budget: 2, J: 1}}
+	if v, _ := EvalCurve(knots, 0.5); v != 0 {
+		t.Fatalf("below-range value %v", v)
+	}
+	if v, _ := EvalCurve(knots, 5); v != 1 {
+		t.Fatalf("above-range value %v", v)
+	}
+	if v, _ := EvalCurve(knots, 1.5); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("midpoint %v", v)
+	}
+	if _, err := EvalCurve(knots, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := ObjectiveCurve(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCurveIsConcaveDetectsViolations(t *testing.T) {
+	good := []Knot{{0, 0}, {1, 2}, {2, 3}, {3, 3.5}}
+	if !CurveIsConcave(good) {
+		t.Fatal("concave curve rejected")
+	}
+	bad := []Knot{{0, 0}, {1, 1}, {2, 3}} // slope increases
+	if CurveIsConcave(bad) {
+		t.Fatal("convex kink accepted")
+	}
+	dup := []Knot{{1, 0}, {1, 1}}
+	if CurveIsConcave(dup) {
+		t.Fatal("zero-width segment accepted")
+	}
+}

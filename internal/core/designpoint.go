@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DesignPoint is one operating configuration of the application with a
+// characterized recognition accuracy and average power draw. In the HAR
+// case study a design point fixes the accelerometer axes, the sensing
+// period, the feature set and the classifier structure; here only the two
+// numbers REAP consumes remain.
+type DesignPoint struct {
+	// Name identifies the design point (e.g. "DP1").
+	Name string
+	// Accuracy is the recognition accuracy in [0, 1].
+	Accuracy float64
+	// Power is the average power consumption in watts while this design
+	// point is active (sensing + feature generation + classification +
+	// transmission, amortized over the activity window).
+	Power float64
+}
+
+// Validate checks that the design point's parameters are physically
+// meaningful.
+func (d DesignPoint) Validate() error {
+	if math.IsNaN(d.Accuracy) || d.Accuracy < 0 || d.Accuracy > 1 {
+		return fmt.Errorf("core: design point %q accuracy %v outside [0,1]", d.Name, d.Accuracy)
+	}
+	if math.IsNaN(d.Power) || d.Power <= 0 {
+		return fmt.Errorf("core: design point %q power %v must be positive", d.Name, d.Power)
+	}
+	return nil
+}
+
+// EnergyPerPeriod returns the energy (J) the design point consumes if it
+// runs for the whole period tp (seconds).
+func (d DesignPoint) EnergyPerPeriod(tp float64) float64 { return d.Power * tp }
+
+// Dominates reports whether d is at least as good as o in both dimensions
+// and strictly better in at least one (higher accuracy, lower power).
+func (d DesignPoint) Dominates(o DesignPoint) bool {
+	if d.Accuracy < o.Accuracy || d.Power > o.Power {
+		return false
+	}
+	return d.Accuracy > o.Accuracy || d.Power < o.Power
+}
+
+// ErrNoDesignPoints is returned when a configuration has an empty DP list.
+var ErrNoDesignPoints = errors.New("core: configuration has no design points")
+
+// ParetoFront returns the subset of dps not dominated by any other entry,
+// sorted by decreasing power (the paper's DP1..DP5 ordering: highest
+// accuracy/power first). Ties in both coordinates keep the first
+// occurrence.
+func ParetoFront(dps []DesignPoint) []DesignPoint {
+	var front []DesignPoint
+	for i, d := range dps {
+		dominated := false
+		for j, o := range dps {
+			if i == j {
+				continue
+			}
+			if o.Dominates(d) {
+				dominated = true
+				break
+			}
+			// Exact duplicate: keep only the earliest.
+			if j < i && o.Accuracy == d.Accuracy && o.Power == d.Power {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, d)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		if front[i].Power != front[j].Power {
+			return front[i].Power > front[j].Power
+		}
+		return front[i].Accuracy > front[j].Accuracy
+	})
+	return front
+}
+
+// PaperDesignPoints returns the five Pareto-optimal design points of
+// Table 2 in the paper, with power expressed in watts. These are the
+// reference values measured on the TI-Sensortag prototype; the
+// har/energy packages regenerate comparable values from simulation.
+func PaperDesignPoints() []DesignPoint {
+	return []DesignPoint{
+		{Name: "DP1", Accuracy: 0.94, Power: 2.76e-3},
+		{Name: "DP2", Accuracy: 0.93, Power: 2.30e-3},
+		{Name: "DP3", Accuracy: 0.92, Power: 1.82e-3},
+		{Name: "DP4", Accuracy: 0.90, Power: 1.64e-3},
+		{Name: "DP5", Accuracy: 0.76, Power: 1.20e-3},
+	}
+}

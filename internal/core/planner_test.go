@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShadowPriceRegions(t *testing.T) {
+	c := DefaultConfig()
+	// Dead region and saturated region: zero price.
+	for _, budget := range []float64{0, 0.1, 9.94, 12} {
+		p, err := ShadowPrice(c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 0 {
+			t.Errorf("budget %v: price %v, want 0", budget, p)
+		}
+	}
+	// Region 1: price equals DP5's marginal accuracy per joule.
+	p1, err := ShadowPrice(c, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.DPs[4].Accuracy / c.Period / (c.DPs[4].Power - c.POff)
+	if math.Abs(p1-want) > 1e-6*want {
+		t.Errorf("region-1 price %v, want %v", p1, want)
+	}
+	// Region 2: price is positive but lower (mixing DP4 for DP5 buys less
+	// accuracy per joule).
+	p2, err := ShadowPrice(c, 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 <= 0 || p2 >= p1 {
+		t.Errorf("region-2 price %v not in (0, %v)", p2, p1)
+	}
+}
+
+func TestShadowPriceMatchesFiniteDifference(t *testing.T) {
+	c := DefaultConfig()
+	for _, budget := range []float64{1.5, 3.0, 5.0, 7.5, 9.0} {
+		price, err := ShadowPrice(c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const h = 1e-3
+		up, err := Solve(c, budget+h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dn, err := Solve(c, budget-h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numeric := (up.Objective(c) - dn.Objective(c)) / (2 * h)
+		if math.Abs(price-numeric) > 1e-3*(1+numeric) {
+			t.Errorf("budget %v: dual %v vs numeric %v", budget, price, numeric)
+		}
+	}
+}
+
+func TestShadowPriceValidation(t *testing.T) {
+	if _, err := ShadowPrice(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := ShadowPrice(DefaultConfig(), -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestLookaheadValidation(t *testing.T) {
+	c := DefaultConfig()
+	if _, err := Lookahead(Config{}, 0, 10, []float64{1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Lookahead(c, 5, 1, []float64{1}); err == nil {
+		t.Fatal("charge above capacity accepted")
+	}
+	if _, err := Lookahead(c, 0, 10, []float64{-1}); err == nil {
+		t.Fatal("negative forecast accepted")
+	}
+	plan, err := Lookahead(c, 3, 10, nil)
+	if err != nil || len(plan.Allocations) != 0 || plan.Battery[0] != 3 {
+		t.Fatalf("empty horizon: %+v err %v", plan, err)
+	}
+}
+
+func TestLookaheadMatchesMyopicOnFlatHarvest(t *testing.T) {
+	// With a constant harvest and ample battery, shifting energy across
+	// hours buys nothing: the lookahead optimum must equal the myopic
+	// per-hour optimum.
+	c := DefaultConfig()
+	harvest := []float64{5, 5, 5, 5}
+	plan, err := Lookahead(c, 0, 100, harvest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	myopic, err := Solve(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Objective-myopic.Objective(c)) > 1e-6 {
+		t.Fatalf("lookahead J %v vs myopic J %v on flat harvest", plan.Objective, myopic.Objective(c))
+	}
+}
+
+func TestLookaheadShiftsEnergyAcrossHours(t *testing.T) {
+	// Feast then famine: 10 J then 0.5 J. Myopic burns the feast hour on
+	// DP1 and starves the famine hour; lookahead banks energy.
+	c := DefaultConfig()
+	harvest := []float64{10, 0.5}
+	plan, err := Lookahead(c, 0, 100, harvest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Myopic baseline.
+	var myopicJ float64
+	battery := 0.0
+	for _, h := range harvest {
+		alloc, err := Solve(c, battery+h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		battery = math.Max(0, battery+h-alloc.Energy(c))
+		myopicJ += alloc.Objective(c)
+	}
+	myopicJ /= 2
+	if plan.Objective <= myopicJ+1e-9 {
+		t.Fatalf("lookahead J %v does not beat myopic %v on feast/famine", plan.Objective, myopicJ)
+	}
+	// The plan must bank energy: battery after hour 1 is positive.
+	if plan.Battery[1] <= 0 {
+		t.Fatalf("no energy banked: battery trajectory %v", plan.Battery)
+	}
+	// And both hours satisfy the time identity.
+	for k, a := range plan.Allocations {
+		if math.Abs(a.Total()-c.Period) > 1e-5 {
+			t.Fatalf("hour %d: total %v != period", k, a.Total())
+		}
+	}
+}
+
+func TestLookaheadRespectsCapacity(t *testing.T) {
+	// A tiny battery forbids banking: lookahead degenerates toward
+	// myopic. Capacity must never be exceeded in the trajectory.
+	c := DefaultConfig()
+	harvest := []float64{10, 0.5, 10, 0.5}
+	plan, err := Lookahead(c, 0, 2, harvest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, b := range plan.Battery {
+		if b < -1e-6 || b > 2+1e-6 {
+			t.Fatalf("battery[%d] = %v outside [0, 2]", k, b)
+		}
+	}
+	big, err := Lookahead(c, 0, 100, harvest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Objective > big.Objective+1e-9 {
+		t.Fatalf("small battery (%v) beats large (%v)", plan.Objective, big.Objective)
+	}
+}
+
+func TestLookaheadDarkStretchFallsBack(t *testing.T) {
+	// Nothing harvested and nothing stored: the joint LP is infeasible
+	// (the idle floor cannot be paid); the planner must degrade to the
+	// myopic path with dead time rather than fail.
+	c := DefaultConfig()
+	plan, err := Lookahead(c, 0, 10, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Allocations) != 3 {
+		t.Fatalf("%d allocations", len(plan.Allocations))
+	}
+	for k, a := range plan.Allocations {
+		if a.ActiveTime() != 0 {
+			t.Fatalf("hour %d active with no energy", k)
+		}
+		if a.Dead <= 0 {
+			t.Fatalf("hour %d has no dead time in a blackout", k)
+		}
+	}
+	if plan.Objective != 0 {
+		t.Fatalf("objective %v in a blackout", plan.Objective)
+	}
+}
+
+func TestLookaheadEnergyConservation(t *testing.T) {
+	c := DefaultConfig()
+	harvest := []float64{3, 7, 1, 5, 0.5, 6}
+	plan, err := Lookahead(c, 10, 50, harvest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the battery recursion hour by hour.
+	for k, a := range plan.Allocations {
+		want := plan.Battery[k] + harvest[k] - a.Energy(c)
+		if math.Abs(plan.Battery[k+1]-want) > 1e-4 {
+			t.Fatalf("hour %d: battery %v, recursion gives %v", k, plan.Battery[k+1], want)
+		}
+	}
+}

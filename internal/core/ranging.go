@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// BudgetRange returns the interval of energy budgets [lo, hi] around
+// budget within which the optimal solution keeps the same design-point
+// support (the same one or two DPs mixed with off); inside it the time
+// shares vary linearly with the budget. The runtime uses this to skip
+// the simplex when consecutive hours land in the same regime: the
+// allocation can be updated by Rescale instead.
+//
+// Budgets outside the LP regime (below the idle floor or beyond DP1
+// saturation) return the enclosing regime interval directly.
+func BudgetRange(c Config, budget float64) (lo, hi float64, err error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if math.IsNaN(budget) || budget < 0 {
+		return 0, 0, fmt.Errorf("core: budget %v must be non-negative", budget)
+	}
+	floor := c.MinBudget()
+	if budget < floor {
+		return 0, floor, nil
+	}
+	max := c.MaxUsefulBudget()
+	if budget >= max {
+		return max, math.Inf(1), nil
+	}
+
+	n := len(c.DPs)
+	obj := make([]float64, n+1)
+	timeRow := make([]float64, n+1)
+	energyRow := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		obj[i] = c.weight(i) / c.Period
+		timeRow[i] = 1
+		energyRow[i] = c.DPs[i].Power
+	}
+	timeRow[n] = 1
+	energyRow[n] = c.POff
+
+	p := &lp.Problem{
+		Objective: obj,
+		Constraints: []lp.Constraint{
+			{Coeffs: timeRow, Op: lp.EQ, RHS: c.Period},
+			{Coeffs: energyRow, Op: lp.LE, RHS: budget},
+		},
+	}
+	rlo, rhi, ok := lp.RangeRHS(p, 1)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: ranging failed at budget %v", budget)
+	}
+	// Clip to the LP regime.
+	if rlo < floor {
+		rlo = floor
+	}
+	if rhi > max {
+		rhi = max
+	}
+	return rlo, rhi, nil
+}
+
+// Rescale updates an allocation solved at oldBudget to newBudget without
+// re-running the simplex, valid only while both budgets lie in the same
+// BudgetRange interval (same support). With the support fixed to at most
+// two states plus off, the times solve in closed form from the two
+// constraints; the function re-derives them.
+//
+// It returns an error if the stored support cannot absorb the new budget
+// (a sign the caller left the interval and must re-solve).
+func Rescale(c Config, a Allocation, newBudget float64) (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if newBudget < c.MinBudget() {
+		return Allocation{}, fmt.Errorf("core: budget %v below the idle floor; re-solve", newBudget)
+	}
+	// Identify the support.
+	var support []int
+	for i, t := range a.Active {
+		if t > 1e-9 {
+			support = append(support, i)
+		}
+	}
+	out := Allocation{Active: make([]float64, len(c.DPs))}
+	switch len(support) {
+	case 0:
+		// Only off time: nothing to rescale; newBudget is absorbed by
+		// slack (valid while below the cheapest DP's marginal regime —
+		// callers inside a BudgetRange interval satisfy this).
+		out.Off = c.Period
+		return out, nil
+	case 1:
+		// One DP + off with the budget binding:
+		// P t + POff (TP - t) = Eb.
+		i := support[0]
+		denom := c.DPs[i].Power - c.POff
+		t := (newBudget - c.MinBudget()) / denom
+		if t < -1e-9 {
+			return Allocation{}, fmt.Errorf("core: rescale underflow; re-solve")
+		}
+		if t > c.Period {
+			t = c.Period // budget slack beyond saturation
+		}
+		out.Active[i] = t
+		out.Off = c.Period - t
+		return out, nil
+	case 2:
+		// Two DPs, no off, both constraints binding:
+		// t_i + t_j = TP, P_i t_i + P_j t_j = Eb.
+		i, j := support[0], support[1]
+		pi, pj := c.DPs[i].Power, c.DPs[j].Power
+		if math.Abs(pi-pj) < 1e-15 {
+			return Allocation{}, fmt.Errorf("core: degenerate support powers; re-solve")
+		}
+		ti := (newBudget - pj*c.Period) / (pi - pj)
+		tj := c.Period - ti
+		if ti < -1e-9 || tj < -1e-9 {
+			return Allocation{}, fmt.Errorf("core: rescale left the support; re-solve")
+		}
+		out.Active[i] = math.Max(0, ti)
+		out.Active[j] = math.Max(0, tj)
+		return out, nil
+	default:
+		return Allocation{}, fmt.Errorf("core: %d-point support cannot come from this LP; re-solve", len(support))
+	}
+}

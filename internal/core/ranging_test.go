@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBudgetRangeRegimes(t *testing.T) {
+	c := DefaultConfig()
+	// Below the floor.
+	lo, hi, err := BudgetRange(c, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || math.Abs(hi-0.18) > 1e-9 {
+		t.Fatalf("dead regime range [%v, %v]", lo, hi)
+	}
+	// Beyond saturation.
+	lo, hi, err = BudgetRange(c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-c.MaxUsefulBudget()) > 1e-9 || !math.IsInf(hi, 1) {
+		t.Fatalf("saturated regime range [%v, %v]", lo, hi)
+	}
+	// Region 2 at 5 J: the DP4/DP5 mix holds between DP5 saturation
+	// (4.32 J) and DP4 saturation (5.90 J).
+	lo, hi, err = BudgetRange(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-4.32) > 0.01 || math.Abs(hi-5.904) > 0.01 {
+		t.Fatalf("5 J range [%v, %v], want ~[4.32, 5.90]", lo, hi)
+	}
+	// Validation.
+	if _, _, err := BudgetRange(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, _, err := BudgetRange(c, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestRescaleMatchesSolveInsideRange(t *testing.T) {
+	// Property: for random budgets, a Rescale to any point inside the
+	// BudgetRange reproduces the full Solve exactly.
+	c := DefaultConfig()
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		budget := 0.3 + rng.Float64()*10
+		lo, hi, err := BudgetRange(c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo + 2
+		}
+		base, err := Solve(c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budget < c.MinBudget() {
+			continue // dead regime has no rescale path
+		}
+		// A few points strictly inside the interval.
+		for k := 0; k < 3; k++ {
+			target := lo + (hi-lo)*(0.05+0.9*rng.Float64())
+			if target < c.MinBudget() {
+				continue
+			}
+			fast, err := Rescale(c, base, target)
+			if err != nil {
+				t.Fatalf("trial %d: rescale to %v (range [%v,%v]): %v", trial, target, lo, hi, err)
+			}
+			slow, err := Solve(c, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fast.Objective(c)-slow.Objective(c)) > 1e-6 {
+				t.Fatalf("trial %d: rescale J %v != solve J %v at %v (from %v, range [%v, %v])",
+					trial, fast.Objective(c), slow.Objective(c), target, budget, lo, hi)
+			}
+			if fast.Energy(c) > target+1e-6 {
+				t.Fatalf("trial %d: rescaled energy %v exceeds %v", trial, fast.Energy(c), target)
+			}
+		}
+	}
+}
+
+func TestRescaleRefusesOutsideSupport(t *testing.T) {
+	c := DefaultConfig()
+	// 5 J: DP4/DP5 mix. Rescaling to 2 J (pure DP5 + off regime) must be
+	// refused: t4 would go negative.
+	base, err := Solve(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rescale(c, base, 2); err == nil {
+		t.Fatal("rescale across a regime boundary accepted")
+	}
+	// Below the floor: refused.
+	if _, err := Rescale(c, base, 0.05); err == nil {
+		t.Fatal("sub-floor rescale accepted")
+	}
+	if _, err := Rescale(Config{}, base, 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRescaleSingleDPRegime(t *testing.T) {
+	c := DefaultConfig()
+	base, err := Solve(c, 2) // DP5 + off
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Rescale(c, base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Solve(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Objective(c)-slow.Objective(c)) > 1e-9 {
+		t.Fatalf("single-DP rescale J %v != solve J %v", fast.Objective(c), slow.Objective(c))
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "sort"
+
+// Region labels the energy-budget regimes discussed in Section 5.2 of the
+// paper (Figure 5).
+type Region int
+
+const (
+	// RegionDead: the budget cannot even power the idle circuitry for the
+	// whole period (below the 0.18 J floor in the paper).
+	RegionDead Region = iota
+	// Region1: no design point can stay active for the whole period; the
+	// low-energy points dominate because they maximize active time.
+	Region1
+	// Region2: the cheapest design point saturates (runs the full period)
+	// but the hungriest cannot; REAP mixes adjacent Pareto points.
+	Region2
+	// Region3: every design point can run the full period; REAP reduces
+	// to the highest-accuracy design point.
+	Region3
+)
+
+// String returns the paper's name for the region.
+func (r Region) String() string {
+	switch r {
+	case RegionDead:
+		return "dead"
+	case Region1:
+		return "region-1"
+	case Region2:
+		return "region-2"
+	case Region3:
+		return "region-3"
+	default:
+		return "region-?"
+	}
+}
+
+// Classify places an energy budget into its region for configuration c.
+func Classify(c Config, budget float64) Region {
+	switch {
+	case budget < c.MinBudget():
+		return RegionDead
+	case budget < minFullEnergy(c):
+		return Region1
+	case budget < c.MaxUsefulBudget():
+		return Region2
+	default:
+		return Region3
+	}
+}
+
+// minFullEnergy is the energy needed to run the cheapest design point for
+// the whole period (4.3 J for DP5 in the paper).
+func minFullEnergy(c Config) float64 {
+	min := c.DPs[0].EnergyPerPeriod(c.Period)
+	for _, d := range c.DPs[1:] {
+		if e := d.EnergyPerPeriod(c.Period); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// RegionBoundaries returns the budget values at which the optimizer's
+// behaviour changes qualitatively: the idle floor, the saturation energy of
+// each design point in increasing order, and (implicitly) the maximum
+// useful budget as the last entry.
+func RegionBoundaries(c Config) []float64 {
+	bounds := []float64{c.MinBudget()}
+	for _, d := range c.DPs {
+		bounds = append(bounds, d.EnergyPerPeriod(c.Period))
+	}
+	sort.Float64s(bounds)
+	return bounds
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestClassifyPaperBoundaries(t *testing.T) {
+	c := DefaultConfig()
+	cases := []struct {
+		budget float64
+		want   Region
+	}{
+		{0.0, RegionDead},
+		{0.1, RegionDead}, // below the 0.18 J floor
+		{0.2, Region1},    // barely alive
+		{3.0, Region1},    // no DP saturates
+		{4.0, Region1},    // DP5 needs 4.32 J
+		{4.5, Region2},    // DP5 saturated, DP1 not
+		{9.0, Region2},    //
+		{9.936, Region3},  // DP1 saturation (the paper's 9.9 J)
+		{12.0, Region3},   //
+	}
+	for _, tc := range cases {
+		if got := Classify(c, tc.budget); got != tc.want {
+			t.Errorf("Classify(%.3f J) = %v, want %v", tc.budget, got, tc.want)
+		}
+	}
+}
+
+func TestRegionStrings(t *testing.T) {
+	for _, r := range []Region{RegionDead, Region1, Region2, Region3, Region(9)} {
+		if r.String() == "" {
+			t.Fatalf("empty string for region %d", int(r))
+		}
+	}
+}
+
+func TestRegionBoundariesSortedAndComplete(t *testing.T) {
+	c := DefaultConfig()
+	b := RegionBoundaries(c)
+	if len(b) != len(c.DPs)+1 {
+		t.Fatalf("got %d boundaries, want %d", len(b), len(c.DPs)+1)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("boundaries not sorted: %v", b)
+		}
+	}
+	if !approx(b[0], 0.18, 1e-9) {
+		t.Errorf("first boundary %v, want the 0.18 J idle floor", b[0])
+	}
+	last := b[len(b)-1]
+	if !approx(last, 9.936, 1e-9) {
+		t.Errorf("last boundary %v, want DP1 saturation 9.936 J", last)
+	}
+}
+
+func TestMinMaxBudget(t *testing.T) {
+	c := DefaultConfig()
+	if !approx(c.MinBudget(), 0.18, 1e-12) {
+		t.Errorf("MinBudget = %v, want 0.18", c.MinBudget())
+	}
+	if !approx(c.MaxUsefulBudget(), 9.936, 1e-9) {
+		t.Errorf("MaxUsefulBudget = %v, want 9.936", c.MaxUsefulBudget())
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// ShadowPrice returns ∂J*/∂Eb, the marginal objective gain per additional
+// joule of budget, read from the dual of the energy constraint. It is the
+// signal a harvesting runtime can use to value energy: in Region 1 it
+// equals aᵢ^α/(TP·(Pᵢ−P_off)) for the marginal design point, it steps down
+// at each design-point saturation, and it reaches zero once DP1 runs the
+// whole period.
+//
+// Budgets in the dead region (below the idle floor) have price zero: an
+// extra joule only extends idle time. Degenerate budgets exactly at a
+// region boundary return the right-side price.
+func ShadowPrice(c Config, budget float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(budget) || budget < 0 {
+		return 0, fmt.Errorf("core: budget %v must be non-negative", budget)
+	}
+	if budget < c.MinBudget() {
+		return 0, nil
+	}
+	if budget >= c.MaxUsefulBudget() {
+		return 0, nil
+	}
+
+	n := len(c.DPs)
+	obj := make([]float64, n+1)
+	timeRow := make([]float64, n+1)
+	energyRow := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		obj[i] = c.weight(i) / c.Period
+		timeRow[i] = 1
+		energyRow[i] = c.DPs[i].Power
+	}
+	timeRow[n] = 1
+	energyRow[n] = c.POff
+
+	p := &lp.Problem{
+		Objective: obj,
+		Constraints: []lp.Constraint{
+			{Coeffs: timeRow, Op: lp.EQ, RHS: c.Period},
+			{Coeffs: energyRow, Op: lp.LE, RHS: budget},
+		},
+	}
+	sol, duals, err := lp.SolveWithDuals(p)
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("core: shadow price solve terminated with %v", sol.Status)
+	}
+	price := duals[1]
+	if math.IsNaN(price) || price < 0 {
+		price = 0
+	}
+	return price, nil
+}

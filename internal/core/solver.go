@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Solve computes the optimal allocation for the given energy budget (J)
+// using the simplex method, mirroring Algorithm 1 of the paper. Budgets
+// below the off-state floor are handled outside the LP: the device idles
+// for as long as the budget allows and is dead for the remainder.
+func Solve(c Config, budget float64) (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if math.IsNaN(budget) || budget < 0 {
+		return Allocation{}, fmt.Errorf("core: budget %v must be non-negative", budget)
+	}
+	if alloc, done := preLP(c, budget); done {
+		return alloc, nil
+	}
+
+	n := len(c.DPs)
+	// Variables: t_1..t_N, t_off.
+	obj := make([]float64, n+1)
+	timeRow := make([]float64, n+1)
+	energyRow := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		obj[i] = c.weight(i) / c.Period
+		timeRow[i] = 1
+		energyRow[i] = c.DPs[i].Power
+	}
+	timeRow[n] = 1
+	energyRow[n] = c.POff
+
+	p := &lp.Problem{
+		Objective: obj,
+		Constraints: []lp.Constraint{
+			{Coeffs: timeRow, Op: lp.EQ, RHS: c.Period},
+			{Coeffs: energyRow, Op: lp.LE, RHS: budget},
+		},
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return Allocation{}, err
+	}
+	if sol.Status != lp.Optimal {
+		return Allocation{}, fmt.Errorf("core: solver terminated with status %v", sol.Status)
+	}
+	alloc := Allocation{Active: sol.X[:n:n], Off: sol.X[n]}
+	clampAllocation(&alloc, c)
+	return alloc, nil
+}
+
+// SolveEnumerate computes the same optimum by direct vertex enumeration.
+// Because the LP has exactly two structural constraints, every basic
+// solution has at most two nonzero times, so the optimum is either a single
+// state run for the whole period or a mix of two states with the budget
+// binding. This independent solver cross-checks the simplex path and is
+// also faster for small N (O(N²) with tiny constants).
+func SolveEnumerate(c Config, budget float64) (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if math.IsNaN(budget) || budget < 0 {
+		return Allocation{}, fmt.Errorf("core: budget %v must be non-negative", budget)
+	}
+	if alloc, done := preLP(c, budget); done {
+		return alloc, nil
+	}
+
+	n := len(c.DPs)
+	// State i in [0,n) is a design point; state n is "off".
+	power := func(i int) float64 {
+		if i == n {
+			return c.POff
+		}
+		return c.DPs[i].Power
+	}
+	value := func(i int) float64 {
+		if i == n {
+			return 0
+		}
+		return c.weight(i)
+	}
+
+	best := Allocation{Active: make([]float64, n), Off: c.Period}
+	bestJ := math.Inf(-1)
+	consider := func(i, j int, ti, tj float64) {
+		if ti < -1e-9 || tj < -1e-9 || ti+tj > c.Period+1e-6 {
+			return
+		}
+		if ti < 0 {
+			ti = 0
+		}
+		if tj < 0 {
+			tj = 0
+		}
+		J := (value(i)*ti + value(j)*tj) / c.Period
+		if J <= bestJ {
+			return
+		}
+		a := Allocation{Active: make([]float64, n)}
+		if i == n {
+			a.Off = ti
+		} else {
+			a.Active[i] = ti
+		}
+		if j == n {
+			a.Off += tj
+		} else {
+			a.Active[j] += tj
+		}
+		bestJ = J
+		best = a
+	}
+
+	// Single-state vertices: run state i for the whole period if the
+	// budget allows (budget slack absorbs the rest).
+	for i := 0; i <= n; i++ {
+		if power(i)*c.Period <= budget+1e-9 {
+			consider(i, n, c.Period, 0)
+		}
+	}
+	// Two-state vertices with the budget binding:
+	// t_i + t_j = TP, P_i t_i + P_j t_j = Eb.
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			pi, pj := power(i), power(j)
+			if math.Abs(pi-pj) < 1e-15 {
+				continue
+			}
+			ti := (budget - pj*c.Period) / (pi - pj)
+			tj := c.Period - ti
+			if ti < -1e-9 || tj < -1e-9 {
+				continue
+			}
+			consider(i, j, ti, tj)
+		}
+	}
+	clampAllocation(&best, c)
+	return best, nil
+}
+
+// preLP handles the regimes the LP cannot express: a budget below the
+// off-state floor (device dies partway through the period) and a budget so
+// large the time constraint alone binds. It returns done=false when the LP
+// must run.
+func preLP(c Config, budget float64) (Allocation, bool) {
+	floor := c.MinBudget()
+	if budget < floor {
+		// Not even the idle circuitry survives the hour: stay off until
+		// the budget is gone, then the device is dead.
+		off := 0.0
+		if c.POff > 0 {
+			off = budget / c.POff
+		}
+		if off > c.Period {
+			off = c.Period
+		}
+		return Allocation{
+			Active: make([]float64, len(c.DPs)),
+			Off:    off,
+			Dead:   c.Period - off,
+		}, true
+	}
+	return Allocation{}, false
+}
+
+// clampAllocation removes floating-point dust and re-normalizes the time
+// identity t_off + Σtᵢ = TP.
+func clampAllocation(a *Allocation, c Config) {
+	for i, t := range a.Active {
+		if t < 1e-9 {
+			a.Active[i] = 0
+		}
+	}
+	if a.Off < 1e-9 {
+		a.Off = 0
+	}
+	// Restore the exact time identity by adjusting off time.
+	slack := c.Period - a.ActiveTime() - a.Dead
+	if slack < 0 {
+		slack = 0
+	}
+	a.Off = slack
+}

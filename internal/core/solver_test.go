@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Config{}, 1); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	c := DefaultConfig()
+	if _, err := Solve(c, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := Solve(c, math.NaN()); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+	bad := DefaultConfig()
+	bad.DPs[0].Accuracy = 2
+	if _, err := Solve(bad, 1); err == nil {
+		t.Fatal("accuracy > 1 accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.DPs[0].Power = DefaultPOff / 2
+	if _, err := Solve(bad2, 1); err == nil {
+		t.Fatal("DP power below off power accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.Alpha = -1
+	if _, err := Solve(bad3, 1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestPaper5JouleSplit(t *testing.T) {
+	// Section 5.2: "At 5 J energy budget, REAP utilizes DP4 42% of the
+	// time and DP5 for 58% of the time."
+	c := DefaultConfig()
+	alloc, err := Solve(c, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u4 := alloc.Utilization(c, 3); !approx(u4, 0.42, 0.02) {
+		t.Errorf("DP4 utilization = %.3f, want ~0.42", u4)
+	}
+	if u5 := alloc.Utilization(c, 4); !approx(u5, 0.58, 0.02) {
+		t.Errorf("DP5 utilization = %.3f, want ~0.58", u5)
+	}
+	if got := alloc.ActiveTime(); !approx(got, c.Period, 1e-6) {
+		t.Errorf("active time = %v, want full period (device never off at 5 J)", got)
+	}
+	if e := alloc.Energy(c); e > 5.0+1e-6 {
+		t.Errorf("energy %v exceeds budget", e)
+	}
+}
+
+func TestRegion3ReducesToDP1(t *testing.T) {
+	// "All design points can remain active ... when the energy budget is
+	// larger than 9.9 J ... REAP reduces to DP1 beyond this point."
+	c := DefaultConfig()
+	alloc, err := Solve(c, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(alloc.Active[0], c.Period, 1e-6) {
+		t.Fatalf("allocation %v: want DP1 for the full period at 10 J", alloc)
+	}
+	if !approx(alloc.ExpectedAccuracy(c), 0.94, 1e-9) {
+		t.Fatalf("expected accuracy %v, want 0.94", alloc.ExpectedAccuracy(c))
+	}
+}
+
+func TestRegion1PrefersDP5(t *testing.T) {
+	// Under severe constraint (α=1) the best marginal accuracy per joule
+	// above idle belongs to the cheapest design point.
+	c := DefaultConfig()
+	alloc, err := Solve(c, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Active[4] == 0 {
+		t.Fatalf("allocation %v: want DP5 used in region 1", alloc)
+	}
+	for i := 0; i < 4; i++ {
+		if alloc.Active[i] > 1e-6 {
+			t.Fatalf("allocation %v: DP%d active in region 1 at α=1", alloc, i+1)
+		}
+	}
+	if alloc.Off <= 0 {
+		t.Fatalf("allocation %v: device should be partly off at 2 J", alloc)
+	}
+}
+
+func TestBelowFloorDevicePartiallyDead(t *testing.T) {
+	c := DefaultConfig()
+	alloc, err := Solve(c, c.MinBudget()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.ActiveTime() != 0 {
+		t.Fatalf("active time %v, want 0 below the idle floor", alloc.ActiveTime())
+	}
+	if !approx(alloc.Off, c.Period/2, 1e-6) || !approx(alloc.Dead, c.Period/2, 1e-6) {
+		t.Fatalf("off=%v dead=%v, want half/half at half the floor budget", alloc.Off, alloc.Dead)
+	}
+	if !approx(alloc.Total(), c.Period, 1e-6) {
+		t.Fatalf("total %v != period", alloc.Total())
+	}
+}
+
+func TestZeroBudget(t *testing.T) {
+	c := DefaultConfig()
+	alloc, err := Solve(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.ActiveTime() != 0 || !approx(alloc.Dead, c.Period, 1e-6) {
+		t.Fatalf("allocation %v, want fully dead at zero budget", alloc)
+	}
+}
+
+func TestAlphaZeroMaximizesActiveTime(t *testing.T) {
+	// α = 0 turns the objective into total active time; the cheapest DP
+	// maximizes it regardless of accuracy.
+	c := DefaultConfig()
+	c.Alpha = 0
+	budget := 3.0
+	alloc, err := Solve(c, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best possible active time with budget Eb:
+	// t = (Eb - POff·TP) / (P5 - POff).
+	want := (budget - c.MinBudget()) / (c.DPs[4].Power - c.POff)
+	if !approx(alloc.ActiveTime(), want, 1e-3) {
+		t.Fatalf("active time %v, want %v (all budget to cheapest DP)", alloc.ActiveTime(), want)
+	}
+}
+
+func TestHighAlphaPrefersAccuracy(t *testing.T) {
+	// As α → ∞ the objective is dominated by the highest-accuracy DP even
+	// if it can only run briefly.
+	c := DefaultConfig()
+	c.Alpha = 64
+	alloc, err := Solve(c, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Active[0] <= 0 {
+		t.Fatalf("allocation %v: want DP1 used at very large alpha", alloc)
+	}
+	for i := 1; i < 5; i++ {
+		if alloc.Active[i] > 1e-6 {
+			t.Fatalf("allocation %v: DP%d should not be used at alpha=64", alloc, i+1)
+		}
+	}
+}
+
+func TestSolveMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(7)
+		c := Config{
+			Period: 3600,
+			POff:   rng.Float64() * 1e-4,
+			Alpha:  []float64{0, 0.5, 1, 2, 4, 8}[rng.Intn(6)],
+		}
+		for i := 0; i < n; i++ {
+			c.DPs = append(c.DPs, DesignPoint{
+				Name:     "dp",
+				Accuracy: 0.3 + rng.Float64()*0.7,
+				Power:    c.POff + 1e-4 + rng.Float64()*5e-3,
+			})
+		}
+		budget := rng.Float64() * c.MaxUsefulBudget() * 1.2
+		a1, err := Solve(c, budget)
+		if err != nil {
+			t.Fatalf("trial %d: simplex error %v", trial, err)
+		}
+		a2, err := SolveEnumerate(c, budget)
+		if err != nil {
+			t.Fatalf("trial %d: enumerate error %v", trial, err)
+		}
+		j1, j2 := a1.Objective(c), a2.Objective(c)
+		if math.Abs(j1-j2) > 1e-6*(1+math.Abs(j2)) {
+			t.Fatalf("trial %d: simplex J=%v enumerate J=%v (budget %v, alpha %v)\nsimplex %v\nenum    %v",
+				trial, j1, j2, budget, c.Alpha, a1, a2)
+		}
+		// Both must respect budget and time identity.
+		for _, a := range []Allocation{a1, a2} {
+			if a.Energy(c) > budget+1e-6 {
+				t.Fatalf("trial %d: energy %v exceeds budget %v", trial, a.Energy(c), budget)
+			}
+			if !approx(a.Total(), c.Period, 1e-5) {
+				t.Fatalf("trial %d: total time %v != period", trial, a.Total())
+			}
+		}
+	}
+}
+
+func TestREAPDominatesStaticPoints(t *testing.T) {
+	// The fundamental claim: for every budget and α, J(REAP) ≥ J(best
+	// static DP), where a static DP runs until its budget share is gone.
+	c := DefaultConfig()
+	for _, alpha := range []float64{0, 0.5, 1, 2, 4, 8} {
+		c.Alpha = alpha
+		for budget := 0.2; budget <= 11; budget += 0.1 {
+			alloc, err := Solve(c, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reapJ := alloc.Objective(c)
+			for i := range c.DPs {
+				staticJ := StaticObjective(c, i, budget)
+				if staticJ > reapJ+1e-9 {
+					t.Fatalf("budget %.2f alpha %v: static DP%d J=%v beats REAP J=%v",
+						budget, alpha, i+1, staticJ, reapJ)
+				}
+			}
+		}
+	}
+}
+
+func TestObjectiveMonotoneInBudget(t *testing.T) {
+	c := DefaultConfig()
+	for _, alpha := range []float64{0.5, 1, 2} {
+		c.Alpha = alpha
+		prev := -1.0
+		for budget := 0.0; budget <= 12; budget += 0.05 {
+			alloc, err := Solve(c, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := alloc.Objective(c)
+			if j < prev-1e-9 {
+				t.Fatalf("alpha %v: J decreased from %v to %v at budget %v", alpha, prev, j, budget)
+			}
+			prev = j
+		}
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	c := DefaultConfig()
+	alloc, err := Solve(c, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := alloc.String(); s == "" || s == "allocation{}" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := (Allocation{}).String(); s != "allocation{}" {
+		t.Fatalf("empty String() = %q", s)
+	}
+}
+
+func TestSolveEnumerateValidation(t *testing.T) {
+	if _, err := SolveEnumerate(Config{}, 1); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := SolveEnumerate(DefaultConfig(), -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

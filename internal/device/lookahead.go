@@ -1,0 +1,109 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Forecaster predicts future hourly harvests; internal/forecast.EWMA
+// satisfies it, and OracleForecaster supplies perfect knowledge for
+// upper-bound experiments.
+type Forecaster interface {
+	// Observe folds in the harvest of the hour that just elapsed.
+	Observe(harvest float64) error
+	// Predict returns the expected harvest for the next k hours.
+	Predict(k int) []float64
+}
+
+// OracleForecaster returns the true future trace — the perfect-forecast
+// upper bound for receding-horizon planning.
+type OracleForecaster struct {
+	Trace []float64
+	pos   int
+}
+
+// Observe advances the oracle's clock (the value is already known).
+func (o *OracleForecaster) Observe(float64) error {
+	o.pos++
+	return nil
+}
+
+// Predict returns the next k true values, zero-padded past the end.
+func (o *OracleForecaster) Predict(k int) []float64 {
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		if o.pos+i < len(o.Trace) {
+			out[i] = o.Trace[o.pos+i]
+		}
+	}
+	return out
+}
+
+// RecedingHorizon runs the lookahead planner in closed loop: every hour it
+// re-plans the next Horizon hours against the forecast, executes only the
+// first hour against the true harvest, settles the battery, and feeds the
+// observation back to the forecaster. With an oracle forecaster this is
+// the paper's natural "what if the budget allocation layer saw the
+// future" extension; with an EWMA forecaster it is deployable.
+type RecedingHorizon struct {
+	Cfg       core.Config
+	CapacityJ float64
+	BatteryJ  float64
+	Horizon   int
+	Forecast  Forecaster
+}
+
+// Run executes the policy over the true hourly harvest sequence and
+// returns per-hour records (budgets are the planner's energy spend).
+func (rh *RecedingHorizon) Run(harvest []float64) (*RunResult, error) {
+	if err := rh.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rh.Forecast == nil {
+		return nil, fmt.Errorf("device: receding horizon needs a forecaster")
+	}
+	if rh.Horizon <= 0 {
+		rh.Horizon = 24
+	}
+	if rh.CapacityJ < 0 || rh.BatteryJ < 0 || rh.BatteryJ > rh.CapacityJ+1e-9 {
+		return nil, fmt.Errorf("device: battery state %v/%v invalid", rh.BatteryJ, rh.CapacityJ)
+	}
+	battery := rh.BatteryJ
+	res := &RunResult{Policy: "lookahead"}
+	for _, actual := range harvest {
+		forecast := rh.Forecast.Predict(rh.Horizon)
+		// The first planned hour uses the actual harvest (now known to
+		// the harvesting circuitry as it arrives); later hours use the
+		// forecast. This mirrors how the controller would experience it.
+		if len(forecast) > 0 {
+			forecast[0] = actual
+		}
+		plan, err := core.Lookahead(rh.Cfg, battery, rh.CapacityJ, forecast)
+		if err != nil {
+			return nil, err
+		}
+		alloc := plan.Allocations[0]
+		spent := alloc.Energy(rh.Cfg)
+		battery = battery + actual - spent
+		if battery > rh.CapacityJ {
+			battery = rh.CapacityJ
+		}
+		if battery < 0 {
+			battery = 0
+		}
+		res.Hours = append(res.Hours, HourRecord{
+			Budget:           actual,
+			Alloc:            alloc,
+			Consumed:         spent,
+			ExpectedAccuracy: alloc.ExpectedAccuracy(rh.Cfg),
+			ActiveTime:       alloc.ActiveTime(),
+			Objective:        alloc.Objective(rh.Cfg),
+			Region:           core.Classify(rh.Cfg, actual),
+		})
+		if err := rh.Forecast.Observe(actual); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

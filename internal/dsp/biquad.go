@@ -1,0 +1,73 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR filter section (direct form I). Sensor
+// pipelines on MCU-class devices run one of these in front of the feature
+// bank: a low-pass around 20 Hz removes high-frequency vibration and
+// aliasing products from the 100 Hz accelerometer stream without the cost
+// of a long FIR.
+type Biquad struct {
+	B0, B1, B2 float64 // feed-forward
+	A1, A2     float64 // feedback (a0 normalized to 1)
+}
+
+// LowPass designs a Butterworth-Q low-pass biquad with the given cutoff
+// (Hz) at the given sample rate using the bilinear transform (RBJ audio
+// cookbook form).
+func LowPass(cutoffHz, sampleRateHz float64) (*Biquad, error) {
+	if sampleRateHz <= 0 || math.IsNaN(sampleRateHz) {
+		return nil, fmt.Errorf("dsp: sample rate %v must be positive", sampleRateHz)
+	}
+	if cutoffHz <= 0 || cutoffHz >= sampleRateHz/2 {
+		return nil, fmt.Errorf("dsp: cutoff %v Hz outside (0, Nyquist %v)", cutoffHz, sampleRateHz/2)
+	}
+	w0 := 2 * math.Pi * cutoffHz / sampleRateHz
+	const q = math.Sqrt2 / 2 // Butterworth
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: (1 - cosw) / 2 / a0,
+		B1: (1 - cosw) / a0,
+		B2: (1 - cosw) / 2 / a0,
+		A1: -2 * cosw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// Filter applies the section to x and returns a new slice (zero initial
+// state).
+func (f *Biquad) Filter(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var x1, x2, y1, y2 float64
+	for i, v := range x {
+		y := f.B0*v + f.B1*x1 + f.B2*x2 - f.A1*y1 - f.A2*y2
+		x2, x1 = x1, v
+		y2, y1 = y1, y
+		out[i] = y
+	}
+	return out
+}
+
+// Response returns the filter's magnitude response at the given frequency
+// (Hz) for the given sample rate: |H(e^{jω})|.
+func (f *Biquad) Response(freqHz, sampleRateHz float64) float64 {
+	w := 2 * math.Pi * freqHz / sampleRateHz
+	// Evaluate H(z) at z = e^{jw}.
+	cos1, sin1 := math.Cos(w), math.Sin(w)
+	cos2, sin2 := math.Cos(2*w), math.Sin(2*w)
+	numRe := f.B0 + f.B1*cos1 + f.B2*cos2
+	numIm := -f.B1*sin1 - f.B2*sin2
+	denRe := 1 + f.A1*cos1 + f.A2*cos2
+	denIm := -f.A1*sin1 - f.A2*sin2
+	num := math.Hypot(numRe, numIm)
+	den := math.Hypot(denRe, denIm)
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}

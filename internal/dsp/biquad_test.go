@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowPassValidation(t *testing.T) {
+	if _, err := LowPass(20, 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := LowPass(0, 100); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := LowPass(50, 100); err == nil {
+		t.Error("cutoff at Nyquist accepted")
+	}
+	if _, err := LowPass(60, 100); err == nil {
+		t.Error("cutoff above Nyquist accepted")
+	}
+}
+
+func TestLowPassFrequencyResponse(t *testing.T) {
+	f, err := LowPass(20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC passes at unity.
+	if r := f.Response(0, 100); math.Abs(r-1) > 1e-9 {
+		t.Errorf("DC response %v, want 1", r)
+	}
+	// Cutoff sits at -3 dB (1/sqrt2) for a Butterworth section.
+	if r := f.Response(20, 100); math.Abs(r-1/math.Sqrt2) > 0.01 {
+		t.Errorf("cutoff response %v, want %v", r, 1/math.Sqrt2)
+	}
+	// Stopband: two octaves up (hitting Nyquist region) strongly
+	// attenuated (2nd order ≈ -12 dB/octave).
+	if r := f.Response(45, 100); r > 0.12 {
+		t.Errorf("45 Hz response %v, want < 0.12", r)
+	}
+	// Monotone decreasing through the transition band.
+	prev := math.Inf(1)
+	for hz := 1.0; hz < 49; hz += 2 {
+		r := f.Response(hz, 100)
+		if r > prev+1e-9 {
+			t.Fatalf("response not monotone at %v Hz", hz)
+		}
+		prev = r
+	}
+}
+
+func TestLowPassFiltersSignal(t *testing.T) {
+	f, err := LowPass(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 Hz passes, 30 Hz is crushed.
+	n := 400
+	low := make([]float64, n)
+	high := make([]float64, n)
+	for i := range low {
+		tt := float64(i) / 100
+		low[i] = math.Sin(2 * math.Pi * 2 * tt)
+		high[i] = math.Sin(2 * math.Pi * 30 * tt)
+	}
+	// Skip the transient when measuring.
+	lowOut := f.Filter(low)[100:]
+	highOut := f.Filter(high)[100:]
+	if RMS(lowOut) < 0.6 {
+		t.Errorf("2 Hz RMS after filter %v, want mostly preserved", RMS(lowOut))
+	}
+	if RMS(highOut) > 0.05 {
+		t.Errorf("30 Hz RMS after filter %v, want crushed", RMS(highOut))
+	}
+	// Empty input.
+	if out := f.Filter(nil); len(out) != 0 {
+		t.Error("nil input should give empty output")
+	}
+}
+
+func TestLowPassPreservesGravityOffset(t *testing.T) {
+	// A DC component (gravity) must pass unchanged after settling — the
+	// posture information HAR depends on survives pre-filtering.
+	f, err := LowPass(20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = 0.95
+	}
+	out := f.Filter(x)
+	if math.Abs(out[len(out)-1]-0.95) > 1e-6 {
+		t.Errorf("settled DC output %v, want 0.95", out[len(out)-1])
+	}
+}

@@ -1,0 +1,59 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Goertzel computes the magnitude of DFT bin k of an n-point signal using
+// the Goertzel algorithm: O(n) per bin with two multiplies per sample and
+// no twiddle table, which is why MCU firmware prefers it when only a few
+// spectral bins are needed. Computing all n/2+1 bins this way costs more
+// than one radix-2 FFT, but the HAR stretch feature could drop its three
+// highest bins (they carry little gait information) and come out ahead —
+// the kind of knob Figure 2 of the paper enumerates.
+func Goertzel(x []float64, k, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("dsp: Goertzel size %d must be positive", n)
+	}
+	if k < 0 || k > n/2 {
+		return 0, fmt.Errorf("dsp: Goertzel bin %d outside [0, %d]", k, n/2)
+	}
+	if len(x) != n {
+		return 0, fmt.Errorf("dsp: Goertzel input length %d, want %d", len(x), n)
+	}
+	w := 2 * math.Pi * float64(k) / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Power of the bin from the final recurrence state.
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0
+	}
+	return math.Sqrt(power), nil
+}
+
+// GoertzelMagnitudes mirrors RealFFTMagnitudes using per-bin Goertzel
+// filters: the input is resampled to n points and bins 0..n/2 are
+// evaluated. Results match the FFT path bit-for-tolerance; it exists so
+// the energy model can price partial-spectrum features.
+func GoertzelMagnitudes(x []float64, n int, bins []int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: size %d must be positive", n)
+	}
+	resampled := ResampleLinear(x, n)
+	out := make([]float64, len(bins))
+	for i, k := range bins {
+		mag, err := Goertzel(resampled, k, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mag / float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := make([]float64, 160)
+	for i := range x {
+		x[i] = rng.NormFloat64() + math.Sin(2*math.Pi*2*float64(i)/100)
+	}
+	fftMags, err := RealFFTMagnitudes(x, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := make([]int, 9)
+	for i := range bins {
+		bins[i] = i
+	}
+	gMags, err := GoertzelMagnitudes(x, 16, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range bins {
+		if math.Abs(gMags[k]-fftMags[k]) > 1e-9*(1+fftMags[k]) {
+			t.Fatalf("bin %d: goertzel %v vs fft %v", k, gMags[k], fftMags[k])
+		}
+	}
+}
+
+func TestGoertzelPureTone(t *testing.T) {
+	const n = 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 5 * float64(i) / n)
+	}
+	mag5, err := Goertzel(x, 5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mag5-n/2) > 1e-9*n {
+		t.Fatalf("tone bin magnitude %v, want %v", mag5, float64(n)/2)
+	}
+	mag7, err := Goertzel(x, 7, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag7 > 1e-9*n {
+		t.Fatalf("off-tone bin magnitude %v, want ~0", mag7)
+	}
+}
+
+func TestGoertzelValidation(t *testing.T) {
+	x := make([]float64, 16)
+	if _, err := Goertzel(x, -1, 16); err == nil {
+		t.Error("negative bin accepted")
+	}
+	if _, err := Goertzel(x, 9, 16); err == nil {
+		t.Error("bin above Nyquist accepted")
+	}
+	if _, err := Goertzel(x, 3, 8); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Goertzel(nil, 0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := GoertzelMagnitudes(x, 0, []int{0}); err == nil {
+		t.Error("zero size accepted by magnitudes")
+	}
+	if _, err := GoertzelMagnitudes(x, 16, []int{99}); err == nil {
+		t.Error("out-of-range bin accepted by magnitudes")
+	}
+}
+
+func TestGoertzelDCBin(t *testing.T) {
+	x := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	mag, err := Goertzel(x, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mag-16) > 1e-9 {
+		t.Fatalf("DC magnitude %v, want 16 (sum of samples)", mag)
+	}
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import "math"
+
+// ResampleLinear resamples x to exactly n points using linear
+// interpolation. It is used to reduce the 160-sample stretch window to the
+// 16 samples fed to the FFT feature.
+func ResampleLinear(x []float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if len(x) == 0 {
+		return out
+	}
+	if len(x) == 1 || n == 1 {
+		for i := range out {
+			out[i] = x[0]
+		}
+		return out
+	}
+	scale := float64(len(x)-1) / float64(n-1)
+	for i := range out {
+		pos := float64(i) * scale
+		lo := int(math.Floor(pos))
+		if lo >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return out
+}
+
+// Decimate keeps every k-th sample of x starting from the first. A factor
+// of 1 (or less) returns a copy.
+func Decimate(x []float64, k int) []float64 {
+	if k <= 1 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, 0, (len(x)+k-1)/k)
+	for i := 0; i < len(x); i += k {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Truncate keeps the leading fraction of the window, modelling the
+// "sensing period" knob of Figure 2: a sensor switched off after 50% of
+// the activity window only contributes the first half of its samples.
+// Fractions outside (0,1] are clamped.
+func Truncate(x []float64, fraction float64) []float64 {
+	if fraction >= 1 {
+		return append([]float64(nil), x...)
+	}
+	if fraction <= 0 {
+		return nil
+	}
+	n := int(math.Round(float64(len(x)) * fraction))
+	if n > len(x) {
+		n = len(x)
+	}
+	return append([]float64(nil), x[:n]...)
+}
+
+// MovingAverage smooths x with a centered window of the given odd width;
+// an even width is rounded up. Width ≤ 1 returns a copy.
+func MovingAverage(x []float64, width int) []float64 {
+	if width <= 1 || len(x) == 0 {
+		return append([]float64(nil), x...)
+	}
+	if width%2 == 0 {
+		width++
+	}
+	half := width / 2
+	out := make([]float64, len(x))
+	for i := range x {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += x[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Magnitude returns the per-sample Euclidean norm across axes, the
+// orientation-independent accelerometer magnitude signal.
+func Magnitude(axes ...[]float64) []float64 {
+	if len(axes) == 0 {
+		return nil
+	}
+	n := len(axes[0])
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for _, axis := range axes {
+			if i < len(axis) {
+				s += axis[i] * axis[i]
+			}
+		}
+		out[i] = math.Sqrt(s)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package dsp provides the signal-processing primitives the HAR design
+// points are built from: the statistical feature bank, the 16-point FFT
+// applied to the stretch sensor, the Haar discrete wavelet transform, and
+// the decimation/truncation operators behind the "sensing period" knob of
+// Figure 2 in the paper.
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Min returns the minimum of x, or 0 for empty input.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of x, or 0 for empty input.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Range returns max - min.
+func Range(x []float64) float64 { return Max(x) - Min(x) }
+
+// RMS returns the root mean square of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Energy returns the signal energy Σx².
+func Energy(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// MAD returns the mean absolute deviation around the mean.
+func MAD(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v - m)
+	}
+	return s / float64(len(x))
+}
+
+// Skewness returns the standardized third moment, or 0 when the variance
+// is (numerically) zero.
+func Skewness(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m, sd := Mean(x), Std(x)
+	if sd < 1e-12 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		d := (v - m) / sd
+		s += d * d * d
+	}
+	return s / float64(len(x))
+}
+
+// Kurtosis returns the standardized fourth moment minus 3 (excess
+// kurtosis), or 0 when the variance is (numerically) zero.
+func Kurtosis(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m, sd := Mean(x), Std(x)
+	if sd < 1e-12 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		d := (v - m) / sd
+		s += d * d * d * d
+	}
+	return s/float64(len(x)) - 3
+}
+
+// ZeroCrossings counts sign changes in x (zeros are skipped).
+func ZeroCrossings(x []float64) int {
+	count := 0
+	prev := 0.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		if prev != 0 && math.Signbit(v) != math.Signbit(prev) {
+			count++
+		}
+		prev = v
+	}
+	return count
+}
+
+// MeanCrossings counts crossings of the signal mean, the zero-crossing
+// rate of the detrended signal.
+func MeanCrossings(x []float64) int {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	shifted := make([]float64, len(x))
+	for i, v := range x {
+		shifted[i] = v - m
+	}
+	return ZeroCrossings(shifted)
+}
+
+// Percentile returns the p-quantile of x for p in [0,1] using linear
+// interpolation between order statistics.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// IQR returns the interquartile range (75th minus 25th percentile).
+func IQR(x []float64) float64 { return Percentile(x, 0.75) - Percentile(x, 0.25) }
+
+// Correlation returns the Pearson correlation of a and b, or 0 when either
+// signal has (numerically) zero variance or the lengths differ.
+func Correlation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa < 1e-24 || sbb < 1e-24 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// SMA returns the signal magnitude area of a set of axes: the mean of the
+// summed absolute values across axes, a standard HAR intensity feature.
+func SMA(axes ...[]float64) float64 {
+	if len(axes) == 0 || len(axes[0]) == 0 {
+		return 0
+	}
+	n := len(axes[0])
+	var s float64
+	for _, axis := range axes {
+		for _, v := range axis {
+			s += math.Abs(v)
+		}
+	}
+	return s / float64(n)
+}

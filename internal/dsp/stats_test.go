@@ -1,0 +1,208 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); !approx(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(x); !approx(v, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := Std(x); !approx(s, 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", s)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := []float64{}
+	checks := map[string]float64{
+		"Mean":     Mean(empty),
+		"Variance": Variance(empty),
+		"Std":      Std(empty),
+		"Min":      Min(empty),
+		"Max":      Max(empty),
+		"RMS":      RMS(empty),
+		"MAD":      MAD(empty),
+		"Skewness": Skewness(empty),
+		"Kurtosis": Kurtosis(empty),
+		"Pctl":     Percentile(empty, 0.5),
+		"SMA":      SMA(),
+	}
+	for name, v := range checks {
+		if v != 0 {
+			t.Errorf("%s(empty) = %v, want 0", name, v)
+		}
+	}
+	if ZeroCrossings(empty) != 0 || MeanCrossings(empty) != 0 {
+		t.Error("crossings of empty input should be 0")
+	}
+	if Correlation(empty, empty) != 0 {
+		t.Error("Correlation(empty) should be 0")
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	x := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if Min(x) != -9 || Max(x) != 6 {
+		t.Fatalf("min=%v max=%v", Min(x), Max(x))
+	}
+	if Range(x) != 15 {
+		t.Fatalf("range=%v", Range(x))
+	}
+}
+
+func TestRMSAndEnergy(t *testing.T) {
+	x := []float64{3, 4}
+	if !approx(RMS(x), math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %v", RMS(x))
+	}
+	if !approx(Energy(x), 25, 1e-12) {
+		t.Errorf("Energy = %v", Energy(x))
+	}
+}
+
+func TestSkewnessSymmetric(t *testing.T) {
+	x := []float64{-2, -1, 0, 1, 2}
+	if s := Skewness(x); !approx(s, 0, 1e-12) {
+		t.Errorf("Skewness of symmetric data = %v, want 0", s)
+	}
+	right := []float64{0, 0, 0, 0, 10}
+	if s := Skewness(right); s <= 0 {
+		t.Errorf("Skewness of right-tailed data = %v, want > 0", s)
+	}
+	if Skewness([]float64{5, 5, 5}) != 0 {
+		t.Error("Skewness of constant data should be 0")
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Uniform-ish data has negative excess kurtosis; a big outlier makes
+	// it positive.
+	uniform := make([]float64, 100)
+	for i := range uniform {
+		uniform[i] = float64(i)
+	}
+	if k := Kurtosis(uniform); k >= 0 {
+		t.Errorf("Kurtosis(uniform) = %v, want < 0", k)
+	}
+	spiky := append(make([]float64, 99), 100)
+	if k := Kurtosis(spiky); k <= 0 {
+		t.Errorf("Kurtosis(spiky) = %v, want > 0", k)
+	}
+	if Kurtosis([]float64{1, 1}) != 0 {
+		t.Error("Kurtosis of constant data should be 0")
+	}
+}
+
+func TestZeroCrossings(t *testing.T) {
+	if n := ZeroCrossings([]float64{1, -1, 1, -1}); n != 3 {
+		t.Errorf("ZeroCrossings = %d, want 3", n)
+	}
+	if n := ZeroCrossings([]float64{1, 0, -1}); n != 1 {
+		t.Errorf("ZeroCrossings with zero sample = %d, want 1", n)
+	}
+	if n := ZeroCrossings([]float64{1, 2, 3}); n != 0 {
+		t.Errorf("ZeroCrossings of positive signal = %d, want 0", n)
+	}
+}
+
+func TestMeanCrossings(t *testing.T) {
+	// A sine at 2 Hz over 1 s crosses its mean 4 times.
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 5 + math.Sin(2*math.Pi*2*float64(i)/100)
+	}
+	if n := MeanCrossings(x); n < 3 || n > 5 {
+		t.Errorf("MeanCrossings = %d, want ~4", n)
+	}
+}
+
+func TestPercentileAndIQR(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(x, 0.5); !approx(p, 3, 1e-12) {
+		t.Errorf("median = %v", p)
+	}
+	if p := Percentile(x, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(x, 1); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+	if v := IQR(x); !approx(v, 2, 1e-12) {
+		t.Errorf("IQR = %v, want 2", v)
+	}
+	// Percentile must not mutate its input.
+	y := []float64{3, 1, 2}
+	Percentile(y, 0.5)
+	if y[0] != 3 || y[1] != 1 || y[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if c := Correlation(a, b); !approx(c, 1, 1e-12) {
+		t.Errorf("corr = %v, want 1", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := Correlation(a, neg); !approx(c, -1, 1e-12) {
+		t.Errorf("corr = %v, want -1", c)
+	}
+	if c := Correlation(a, []float64{5, 5, 5, 5}); c != 0 {
+		t.Errorf("corr with constant = %v, want 0", c)
+	}
+	if c := Correlation(a, []float64{1, 2}); c != 0 {
+		t.Errorf("corr with length mismatch = %v, want 0", c)
+	}
+}
+
+func TestSMA(t *testing.T) {
+	x := []float64{1, -1, 1, -1}
+	y := []float64{2, 2, -2, -2}
+	if v := SMA(x, y); !approx(v, 3, 1e-12) {
+		t.Errorf("SMA = %v, want 3", v)
+	}
+}
+
+func TestStatProperties(t *testing.T) {
+	// Shift invariance of variance; scale behaviour of std.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		const shift, scale = 17.5, 3.0
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			shifted[i] = x[i] + shift
+			scaled[i] = x[i] * scale
+		}
+		if !approx(Variance(shifted), Variance(x), 1e-8*(1+Variance(x))) {
+			return false
+		}
+		if !approx(Std(scaled), scale*Std(x), 1e-8*(1+Std(x))) {
+			return false
+		}
+		if Min(x) > Mean(x)+1e-12 || Max(x) < Mean(x)-1e-12 {
+			return false
+		}
+		// RMS² = mean² + variance.
+		lhs := RMS(x) * RMS(x)
+		rhs := Mean(x)*Mean(x) + Variance(x)
+		return approx(lhs, rhs, 1e-8*(1+rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

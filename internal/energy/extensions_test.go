@@ -1,0 +1,73 @@
+package energy
+
+import "testing"
+
+func TestQuantizedNNPricing(t *testing.T) {
+	base := Profile{AccelAxes: 3, SensingFraction: 1, StretchFFT: true, NNMACs: 444, TxBytes: 2}
+	b, err := Activity(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := base
+	q.QuantizedNN = true
+	qb, err := Activity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.TimeNN >= b.TimeNN {
+		t.Fatalf("int8 NN time %v not below float %v", qb.TimeNN, b.TimeNN)
+	}
+	if qb.Total() >= b.Total() {
+		t.Fatalf("int8 total %v not below float %v", qb.Total(), b.Total())
+	}
+	// Only the NN stage changes.
+	if qb.TimeAccelFeatures != b.TimeAccelFeatures || qb.SensorAccel != b.SensorAccel {
+		t.Fatal("quantization changed non-NN components")
+	}
+	// The fixed inference overhead survives quantization.
+	if qb.TimeNN <= tNNFixed {
+		t.Fatalf("int8 NN time %v at or below the fixed overhead", qb.TimeNN)
+	}
+}
+
+func TestGoertzelBinsPricing(t *testing.T) {
+	fft := Profile{StretchFFT: true, NNMACs: 192, TxBytes: 2}
+	fb, err := Activity(fft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := Profile{StretchGoertzelBins: 6, NNMACs: 192, TxBytes: 2}
+	gb, err := Activity(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.TimeStretchFeatures >= fb.TimeStretchFeatures {
+		t.Fatalf("6-bin Goertzel %v not below full FFT %v",
+			gb.TimeStretchFeatures, fb.TimeStretchFeatures)
+	}
+	// But computing all 9 bins with Goertzel must cost MORE than the FFT
+	// (that is the whole point of the FFT).
+	gz9 := Profile{StretchGoertzelBins: 9, NNMACs: 192, TxBytes: 2}
+	g9, err := Activity(gz9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g9.TimeStretchFeatures <= fb.TimeStretchFeatures {
+		t.Fatalf("9-bin Goertzel %v should exceed the radix-2 FFT %v",
+			g9.TimeStretchFeatures, fb.TimeStretchFeatures)
+	}
+}
+
+func TestGoertzelProfileValidation(t *testing.T) {
+	bad := []Profile{
+		{StretchGoertzelBins: -1},
+		{StretchGoertzelBins: 10},
+		{StretchGoertzelBins: 3, StretchFFT: true},
+		{StretchGoertzelBins: 3, StretchStats: true},
+	}
+	for i, p := range bad {
+		if _, err := Activity(p); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}

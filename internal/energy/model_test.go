@@ -1,0 +1,235 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// paperRow is one row of Table 2 in the paper.
+type paperRow struct {
+	name           string
+	profile        Profile
+	accelFeatMs    float64
+	stretchFeatMs  float64
+	nnMs           float64
+	totalMs        float64
+	mcuEnergyMJ    float64
+	sensorEnergyMJ float64
+	totalEnergyMJ  float64
+	powerMW        float64
+}
+
+// table2 transcribes the paper's Table 2. The MAC counts come from the
+// feature dimensionalities of the corresponding har design points
+// (stats = 7 features/axis, 16-FFT = 9 features, hidden layer of 12,
+// 7 output classes).
+func table2() []paperRow {
+	macs := func(inputs int) int { return inputs*12 + 12*7 }
+	return []paperRow{
+		{
+			name: "DP1",
+			profile: Profile{AccelAxes: 3, SensingFraction: 1, StretchFFT: true,
+				NNMACs: macs(3*7 + 9), TxBytes: LabelBytes},
+			accelFeatMs: 0.83, stretchFeatMs: 3.83, nnMs: 1.05, totalMs: 5.71,
+			mcuEnergyMJ: 2.38, sensorEnergyMJ: 2.10, totalEnergyMJ: 4.48, powerMW: 2.76,
+		},
+		{
+			name: "DP2",
+			profile: Profile{AccelAxes: 1, SensingFraction: 1, StretchFFT: true,
+				NNMACs: macs(7 + 9), TxBytes: LabelBytes},
+			accelFeatMs: 0.27, stretchFeatMs: 3.83, nnMs: 1.00, totalMs: 5.10,
+			mcuEnergyMJ: 2.29, sensorEnergyMJ: 1.43, totalEnergyMJ: 3.72, powerMW: 2.30,
+		},
+		{
+			name: "DP3",
+			profile: Profile{AccelAxes: 2, SensingFraction: 0.5, StretchFFT: true,
+				NNMACs: macs(2*7 + 9), TxBytes: LabelBytes},
+			accelFeatMs: 0.27, stretchFeatMs: 3.83, nnMs: 0.90, totalMs: 5.00,
+			mcuEnergyMJ: 2.10, sensorEnergyMJ: 0.84, totalEnergyMJ: 2.94, powerMW: 1.82,
+		},
+		{
+			name: "DP4",
+			profile: Profile{AccelAxes: 1, SensingFraction: 0.375, StretchFFT: true,
+				NNMACs: macs(7 + 9), TxBytes: LabelBytes},
+			accelFeatMs: 0.14, stretchFeatMs: 3.83, nnMs: 1.00, totalMs: 4.97,
+			mcuEnergyMJ: 2.09, sensorEnergyMJ: 0.57, totalEnergyMJ: 2.66, powerMW: 1.64,
+		},
+		{
+			name: "DP5",
+			profile: Profile{AccelAxes: 0, StretchFFT: true,
+				NNMACs: macs(9), TxBytes: LabelBytes},
+			accelFeatMs: 0.00, stretchFeatMs: 3.83, nnMs: 0.88, totalMs: 4.71,
+			mcuEnergyMJ: 1.85, sensorEnergyMJ: 0.08, totalEnergyMJ: 1.93, powerMW: 1.20,
+		},
+	}
+}
+
+func within(t *testing.T, name, quantity string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > 1e-9 {
+			t.Errorf("%s %s = %v, want 0", name, quantity, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > relTol {
+		t.Errorf("%s %s = %v, want %v (%.1f%% off, tolerance %.0f%%)",
+			name, quantity, got, want, 100*rel, 100*relTol)
+	}
+}
+
+func TestTable2Calibration(t *testing.T) {
+	// The component model must land every Table 2 column within 15%.
+	for _, row := range table2() {
+		b, err := Activity(row.profile)
+		if err != nil {
+			t.Fatalf("%s: %v", row.name, err)
+		}
+		within(t, row.name, "accel feature time", b.TimeAccelFeatures*1e3, row.accelFeatMs, 0.30)
+		within(t, row.name, "stretch feature time", b.TimeStretchFeatures*1e3, row.stretchFeatMs, 0.15)
+		within(t, row.name, "NN time", b.TimeNN*1e3, row.nnMs, 0.15)
+		within(t, row.name, "total exec time", b.TimeTotal*1e3, row.totalMs, 0.15)
+		within(t, row.name, "MCU energy", b.MCUEnergy()*1e3, row.mcuEnergyMJ, 0.15)
+		within(t, row.name, "sensor energy", b.SensorEnergy()*1e3, row.sensorEnergyMJ, 0.15)
+		within(t, row.name, "total energy", b.Total()*1e3, row.totalEnergyMJ, 0.15)
+		within(t, row.name, "power", b.Power()*1e3, row.powerMW, 0.15)
+	}
+}
+
+func TestTable2Ordering(t *testing.T) {
+	// Beyond absolute calibration, the ordering DP1 > DP2 > DP3 > DP4 >
+	// DP5 must hold exactly for energy and power.
+	rows := table2()
+	var prev float64 = math.Inf(1)
+	for _, row := range rows {
+		b, err := Activity(row.profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tot := b.Total(); tot >= prev {
+			t.Errorf("%s total energy %v not strictly below previous %v", row.name, tot, prev)
+		} else {
+			prev = tot
+		}
+	}
+}
+
+func TestDP1HourlyBudget(t *testing.T) {
+	// Figure 4: running DP1 for the full hour consumes ~9.9 J.
+	b, err := Activity(table2()[0].profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hourly := PerHour(b)
+	if hourly < 9.0 || hourly < 9.9*0.85 || hourly > 9.9*1.15 {
+		t.Fatalf("DP1 hourly energy %v J, want ~9.9 J", hourly)
+	}
+}
+
+func TestFigure4SensorShare(t *testing.T) {
+	// Figure 4: "about 47% of the energy consumption is due to the
+	// sensors" for DP1.
+	b, err := Activity(table2()[0].profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := b.SensorEnergy() / b.Total()
+	if share < 0.40 || share < 0.47*0.85 || share > 0.47*1.15 {
+		t.Fatalf("DP1 sensor share %.1f%%, want ~47%%", 100*share)
+	}
+}
+
+func TestOffloadingUneconomical(t *testing.T) {
+	// Section 4.2: raw streaming costs ~5.5 mJ/activity versus 0.38 mJ
+	// for transmitting the label; offloading must cost more than every
+	// on-device design point.
+	raw := BLETransmission(RawWindowBytes)
+	within(t, "offload", "raw BLE energy", raw*1e3, 5.5, 0.15)
+	label := BLETransmission(LabelBytes)
+	within(t, "offload", "label BLE energy", label*1e3, 0.38, 0.15)
+
+	off, err := Activity(OffloadProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table2() {
+		b, err := Activity(row.profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Total() <= b.Total() {
+			t.Errorf("offloading (%v mJ) not more expensive than %s (%v mJ)",
+				off.Total()*1e3, row.name, b.Total()*1e3)
+		}
+	}
+	if BLETransmission(0) != 0 || BLETransmission(-5) != 0 {
+		t.Error("empty payload should cost nothing")
+	}
+}
+
+func TestPOffMatchesPaperFloor(t *testing.T) {
+	if got := POff * 3600; math.Abs(got-0.18) > 1e-12 {
+		t.Fatalf("hourly off energy %v, want 0.18 J", got)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []Profile{
+		{AccelAxes: -1},
+		{AccelAxes: 4},
+		{AccelAxes: 1, SensingFraction: 0},
+		{AccelAxes: 1, SensingFraction: 1.5},
+		{AccelAxes: 1, SensingFraction: math.NaN()},
+		{StretchFFT: true, StretchStats: true},
+		{NNMACs: -1},
+		{TxBytes: -1},
+	}
+	for i, p := range bad {
+		if _, err := Activity(p); err == nil {
+			t.Errorf("case %d: invalid profile %+v accepted", i, p)
+		}
+	}
+	// Zero axes with zero sensing fraction is fine (fraction ignored).
+	if _, err := Activity(Profile{AccelAxes: 0, StretchFFT: true, NNMACs: 100, TxBytes: 2}); err != nil {
+		t.Errorf("stretch-only profile rejected: %v", err)
+	}
+}
+
+func TestMonotonicKnobs(t *testing.T) {
+	base := Profile{AccelAxes: 3, SensingFraction: 1, StretchFFT: true, NNMACs: 400, TxBytes: 2}
+	energyOf := func(p Profile) float64 {
+		b, err := Activity(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Total()
+	}
+	e0 := energyOf(base)
+
+	fewerAxes := base
+	fewerAxes.AccelAxes = 1
+	if energyOf(fewerAxes) >= e0 {
+		t.Error("dropping axes did not reduce energy")
+	}
+	shorterSensing := base
+	shorterSensing.SensingFraction = 0.5
+	if energyOf(shorterSensing) >= e0 {
+		t.Error("shorter sensing did not reduce energy")
+	}
+	smallerNN := base
+	smallerNN.NNMACs = 100
+	if energyOf(smallerNN) >= e0 {
+		t.Error("smaller classifier did not reduce energy")
+	}
+	dwt := base
+	dwt.AccelDWT = true
+	if energyOf(dwt) <= e0 {
+		t.Error("DWT features should cost more than statistical features")
+	}
+	stretchStats := base
+	stretchStats.StretchFFT = false
+	stretchStats.StretchStats = true
+	if energyOf(stretchStats) >= e0 {
+		t.Error("statistical stretch features should cost less than the FFT")
+	}
+}

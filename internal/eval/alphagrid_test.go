@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAlphaGridExperiment(t *testing.T) {
+	res, err := AlphaGrid(paperCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 25 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.BestRatio > 1+1e-9 {
+			t.Errorf("alpha %g budget %v: static %s beats REAP (%v)",
+				c.Alpha, c.BudgetJ, c.BestStatic, c.BestRatio)
+		}
+		if c.BestStatic == "" {
+			t.Errorf("alpha %g budget %v: no best static found", c.Alpha, c.BudgetJ)
+		}
+	}
+	// Corner structure: low alpha + low budget favours the cheap point;
+	// high alpha + near-saturation budget favours DP1.
+	lowLow, _ := res.Cell(0.5, 2)
+	if lowLow.BestStatic != "DP5" {
+		t.Errorf("alpha 0.5 / 2 J best static %s, want DP5", lowLow.BestStatic)
+	}
+	hiHi, _ := res.Cell(8, 9.9)
+	if hiHi.BestStatic != "DP1" {
+		t.Errorf("alpha 8 / 9.9 J best static %s, want DP1", hiHi.BestStatic)
+	}
+	// At extreme alpha REAP often collapses to a single design point, so
+	// the best static may exactly match it (ratio 1); at moderate alpha
+	// and a Region-2 budget it must strictly mix, leaving every static
+	// point behind.
+	mid1, _ := res.Cell(1, 6)
+	if mid1.BestRatio >= 1-1e-9 {
+		t.Errorf("alpha 1 / 6 J: best static ratio %v, want strictly below 1 (REAP mixes)",
+			mid1.BestRatio)
+	}
+	if !strings.Contains(res.Render(), "alpha\\budget") {
+		t.Error("render incomplete")
+	}
+	if _, err := AlphaGrid(core.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"encoding/csv"
+	"strings"
+)
+
+// RenderCSV converts any experiment's Render output into CSV. Every
+// renderer in this package emits a one-line title followed by a column-
+// aligned table whose cells are separated by runs of two or more spaces
+// (and never contain two consecutive spaces themselves), so the
+// conversion is lossless. The title becomes a "# "-prefixed comment line.
+func RenderCSV(rendered string) (string, error) {
+	lines := strings.Split(strings.TrimRight(rendered, "\n"), "\n")
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		cells := splitAligned(line)
+		if len(cells) == 1 {
+			// Title or section line: keep as a comment.
+			b.WriteString("# " + line + "\n")
+			continue
+		}
+		if err := w.Write(cells); err != nil {
+			return "", err
+		}
+		w.Flush()
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// splitAligned splits a column-aligned row on runs of 2+ spaces.
+func splitAligned(line string) []string {
+	var cells []string
+	var cur strings.Builder
+	spaces := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			cells = append(cells, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		if r == ' ' {
+			spaces++
+			if spaces < 2 {
+				cur.WriteRune(r)
+			}
+			continue
+		}
+		if spaces >= 2 {
+			flush()
+		}
+		spaces = 0
+		cur.WriteRune(r)
+	}
+	flush()
+	return cells
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitAligned(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a  b  c", []string{"a", "b", "c"}},
+		{"one two  three four", []string{"one two", "three four"}},
+		{"x", []string{"x"}},
+		{"cell    padded   ", []string{"cell", "padded"}},
+		{"lead  9.93  region-2  1.00", []string{"lead", "9.93", "region-2", "1.00"}},
+	}
+	for _, tc := range cases {
+		got := splitAligned(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("split(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("split(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestRenderCSVOnRealExperiments(t *testing.T) {
+	// Every experiment's Render output must convert cleanly: same number
+	// of data rows, title preserved as a comment.
+	fig4, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderCSV(fig4.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "# Figure 4") {
+		t.Fatalf("missing title comment: %q", lines[0])
+	}
+	// Header + 5 components + total = 7 CSV rows.
+	csvRows := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			csvRows++
+		}
+	}
+	if csvRows != 7 {
+		t.Fatalf("%d CSV rows, want 7:\n%s", csvRows, out)
+	}
+	if !strings.Contains(out, "accelerometer,") {
+		t.Fatalf("component column not first:\n%s", out)
+	}
+
+	// A sweep experiment round-trips with consistent column counts.
+	fig6, err := Figure6(paperCfg(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out6, err := RenderCSV(fig6.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var width int
+	for _, l := range strings.Split(strings.TrimRight(out6, "\n"), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		n := len(strings.Split(l, ","))
+		if width == 0 {
+			width = n
+		} else if n != width {
+			t.Fatalf("ragged CSV: %d vs %d columns in %q", n, width, l)
+		}
+	}
+	if width != 7 { // budget, REAP J, 5 DP columns
+		t.Fatalf("figure 6 CSV width %d, want 7", width)
+	}
+}

@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"repro/internal/energy"
+	"repro/internal/har"
+)
+
+// Figure4Result is the DP1 energy decomposition over a one-hour activity
+// period: the paper reports 9.9 J total with ~47% going to the sensors.
+type Figure4Result struct {
+	// TotalJ is the hourly energy of DP1.
+	TotalJ float64
+	// Components maps component name to its hourly energy in joules.
+	Components map[string]float64
+	// SensorSharePct is the sensors' percentage of the total.
+	SensorSharePct float64
+}
+
+// Figure4 prices DP1's hour from the component model.
+func Figure4() (*Figure4Result, error) {
+	dp1 := har.PaperFive()[0]
+	b, err := energy.Activity(dp1.EnergyProfile())
+	if err != nil {
+		return nil, err
+	}
+	scale := 3600 / energy.ActivityWindowSeconds
+	res := &Figure4Result{
+		TotalJ: energy.PerHour(b),
+		Components: map[string]float64{
+			"accelerometer":    b.SensorAccel * scale,
+			"stretch sensor":   b.SensorStretch * scale,
+			"mcu compute":      b.MCUCompute * scale,
+			"mcu sampling":     b.MCUSampling * scale,
+			"ble transmission": b.Radio * scale,
+		},
+	}
+	res.SensorSharePct = 100 * (b.SensorAccel + b.SensorStretch) / b.Total()
+	return res, nil
+}
+
+// Render prints the decomposition.
+func (r *Figure4Result) Render() string {
+	t := &table{header: []string{"component", "energy (J/hour)", "share (%)"}}
+	order := []string{"accelerometer", "stretch sensor", "mcu compute", "mcu sampling", "ble transmission"}
+	for _, name := range order {
+		v := r.Components[name]
+		t.add(name, f2(v), f1(100*v/r.TotalJ))
+	}
+	t.add("total", f2(r.TotalJ), "100.0")
+	return "Figure 4: DP1 energy distribution over one hour (paper: 9.9 J total, ~47% sensors)\n" +
+		t.String()
+}

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"repro/internal/energy"
+	"repro/internal/har"
+)
+
+// OffloadResult quantifies the Section 4.2 offloading analysis: streaming
+// raw sensor data to a host versus classifying on device.
+type OffloadResult struct {
+	// RawStreamMJ is the per-activity cost of sending the raw window.
+	RawStreamMJ float64
+	// LabelTxMJ is the per-activity cost of sending just the label.
+	LabelTxMJ float64
+	// OffloadTotalMJ is the full offloading profile (sensing + raw TX).
+	OffloadTotalMJ float64
+	// DP1TotalMJ is the on-device DP1 cost for comparison.
+	DP1TotalMJ float64
+}
+
+// Offload prices both alternatives.
+func Offload() (*OffloadResult, error) {
+	off, err := energy.Activity(energy.OffloadProfile())
+	if err != nil {
+		return nil, err
+	}
+	dp1, err := energy.Activity(har.PaperFive()[0].EnergyProfile())
+	if err != nil {
+		return nil, err
+	}
+	return &OffloadResult{
+		RawStreamMJ:    1e3 * energy.BLETransmission(energy.RawWindowBytes),
+		LabelTxMJ:      1e3 * energy.BLETransmission(energy.LabelBytes),
+		OffloadTotalMJ: 1e3 * off.Total(),
+		DP1TotalMJ:     1e3 * dp1.Total(),
+	}, nil
+}
+
+// Render prints the comparison (paper: 5.5 mJ raw vs 0.38 mJ label).
+func (r *OffloadResult) Render() string {
+	t := &table{header: []string{"alternative", "energy/activity (mJ)", "paper"}}
+	t.add("raw BLE stream (radio only)", f2(r.RawStreamMJ), "5.5")
+	t.add("recognized-label BLE tx", f2(r.LabelTxMJ), "0.38")
+	t.add("offloading total (sense+stream)", f2(r.OffloadTotalMJ), "-")
+	t.add("on-device DP1 total", f2(r.DP1TotalMJ), "4.48")
+	return "Offloading analysis (Section 4.2): local classification wins\n" + t.String()
+}

@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPlacementExperiment(t *testing.T) {
+	res, err := Placement(paperCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Harvest strictly increases with exposure.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].HarvestJ <= res.Rows[i-1].HarvestJ {
+			t.Errorf("harvest not increasing at %s", res.Rows[i].Label)
+		}
+		if res.Rows[i].REAPMeanAcc < res.Rows[i-1].REAPMeanAcc-1e-9 {
+			t.Errorf("REAP accuracy dropped with more light at %s", res.Rows[i].Label)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.REAPMeanAcc < row.DP1MeanAcc-1e-9 || row.REAPMeanAcc < row.DP5MeanAcc-1e-9 {
+			t.Errorf("%s: REAP below a static baseline", row.Label)
+		}
+	}
+	// The advantage over DP1 shrinks as energy becomes plentiful, and
+	// the advantage over DP5 grows (DP5's accuracy ceiling binds).
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.REAPOverDP1 >= first.REAPOverDP1 {
+		t.Errorf("REAP/DP1 did not shrink with exposure: %v -> %v",
+			first.REAPOverDP1, last.REAPOverDP1)
+	}
+	if last.REAPOverDP5 <= first.REAPOverDP5 {
+		t.Errorf("REAP/DP5 did not grow with exposure: %v -> %v",
+			first.REAPOverDP5, last.REAPOverDP5)
+	}
+	if !strings.Contains(res.Render(), "Placement") {
+		t.Error("render incomplete")
+	}
+	if _, err := Placement(core.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSwitchingExperiment(t *testing.T) {
+	res, err := Switching(paperCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Switches > 2 {
+			t.Errorf("budget %v: %d switches, LP structure guarantees <= 2", row.BudgetJ, row.Switches)
+		}
+		if row.BlockPct > 0.1 {
+			t.Errorf("budget %v: block overhead %.3f%%, want < 0.1%%", row.BudgetJ, row.BlockPct)
+		}
+		if row.Switches > 0 && row.InterleavedPct < 1 {
+			t.Errorf("budget %v: interleaved overhead %.2f%% suspiciously small", row.BudgetJ, row.InterleavedPct)
+		}
+		if row.BlockPct > row.InterleavedPct && row.Switches > 0 {
+			t.Errorf("budget %v: block worse than interleaving", row.BudgetJ)
+		}
+	}
+	if !strings.Contains(res.Render(), "interleaved") {
+		t.Error("render incomplete")
+	}
+	if _, err := Switching(core.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSeasonalExperiment(t *testing.T) {
+	res, err := Seasonal(paperCfg(), 2016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	var june, december SeasonalRow
+	for _, row := range res.Rows {
+		if row.Month == 6 {
+			june = row
+		}
+		if row.Month == 12 {
+			december = row
+		}
+		if row.REAPMeanAcc < row.DP1MeanAcc-1e-9 || row.REAPMeanAcc < row.DP5MeanAcc-1e-9 {
+			t.Errorf("month %d: REAP %v below a static baseline (DP1 %v, DP5 %v)",
+				row.Month, row.REAPMeanAcc, row.DP1MeanAcc, row.DP5MeanAcc)
+		}
+		var shares float64
+		for _, s := range row.RegionShares {
+			shares += s
+		}
+		if shares < 0.999 || shares > 1.001 {
+			t.Errorf("month %d: region shares sum to %v", row.Month, shares)
+		}
+	}
+	// Seasonality: June harvests and performs better than December.
+	if june.HarvestJ <= december.HarvestJ {
+		t.Errorf("June harvest %v not above December %v", june.HarvestJ, december.HarvestJ)
+	}
+	if june.REAPMeanAcc <= december.REAPMeanAcc {
+		t.Errorf("June accuracy %v not above December %v", june.REAPMeanAcc, december.REAPMeanAcc)
+	}
+	// Winter has more dead hours.
+	if december.RegionShares[0] <= june.RegionShares[0] {
+		t.Errorf("December dead share %v not above June %v",
+			december.RegionShares[0], june.RegionShares[0])
+	}
+	if !strings.Contains(res.Render(), "Seasonal sweep") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTiltExperiment(t *testing.T) {
+	res, err := Tilt(paperCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byMonth := map[int]TiltRow{}
+	for _, row := range res.Rows {
+		byMonth[row.Month] = row
+		if row.FlatJ <= 0 || row.TiltedJ <= 0 {
+			t.Errorf("month %d: degenerate harvests", row.Month)
+		}
+	}
+	dec, jun := byMonth[12], byMonth[6]
+	// Winter: the tilt pays off strongly, and the extra harvest must
+	// translate into accuracy.
+	if dec.HarvestGain < 1.15 {
+		t.Errorf("December tilt gain %v, want >= 1.15", dec.HarvestGain)
+	}
+	if dec.TiltedAcc <= dec.FlatAcc {
+		t.Errorf("December tilted accuracy %v not above flat %v", dec.TiltedAcc, dec.FlatAcc)
+	}
+	// Summer: the tilt gain must be much smaller than winter's (the high
+	// sun favours the horizontal).
+	if jun.HarvestGain >= dec.HarvestGain {
+		t.Errorf("June gain %v not below December %v", jun.HarvestGain, dec.HarvestGain)
+	}
+	if !strings.Contains(res.Render(), "tilt") {
+		t.Error("render incomplete")
+	}
+	if _, err := Tilt(core.Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package forecast predicts hourly harvested energy for the lookahead
+// planner. It implements the exponentially-weighted per-slot estimator of
+// Kansal et al. ("Power Management in Energy Harvesting Sensor Networks"),
+// the reference the paper cites for its energy-allocation layer: solar
+// harvest is strongly diurnal, so the best simple predictor for hour h of
+// the day is a decayed average of the harvest observed at hour h on
+// previous days.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlotsPerDay is the diurnal period of the estimator.
+const SlotsPerDay = 24
+
+// EWMA is the per-slot exponentially weighted moving average predictor.
+type EWMA struct {
+	// Lambda is the update weight in (0,1]: higher adapts faster but
+	// tracks weather noise; Kansal et al. use ~0.5 for solar.
+	Lambda float64
+
+	slots [SlotsPerDay]float64
+	seen  [SlotsPerDay]bool
+	next  int // next slot to observe (hour of day)
+}
+
+// NewEWMA creates a predictor starting at hour 0 of the day.
+func NewEWMA(lambda float64) (*EWMA, error) {
+	if lambda <= 0 || lambda > 1 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("forecast: lambda %v outside (0,1]", lambda)
+	}
+	return &EWMA{Lambda: lambda}, nil
+}
+
+// Observe records the harvest (J) of the current hour and advances the
+// clock.
+func (e *EWMA) Observe(harvest float64) error {
+	if harvest < 0 || math.IsNaN(harvest) {
+		return fmt.Errorf("forecast: harvest %v must be non-negative", harvest)
+	}
+	s := e.next % SlotsPerDay
+	if e.seen[s] {
+		e.slots[s] = (1-e.Lambda)*e.slots[s] + e.Lambda*harvest
+	} else {
+		e.slots[s] = harvest
+		e.seen[s] = true
+	}
+	e.next++
+	return nil
+}
+
+// Predict returns the expected harvest for the next k hours, starting at
+// the hour Observe will record next. Slots never observed predict zero.
+func (e *EWMA) Predict(k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = e.slots[(e.next+i)%SlotsPerDay]
+	}
+	return out
+}
+
+// Hour returns the hour-of-day the next observation belongs to.
+func (e *EWMA) Hour() int { return e.next % SlotsPerDay }
+
+// MAE evaluates the predictor against a trace: it replays the trace,
+// comparing each one-step-ahead prediction with the observation before
+// folding it in, and returns the mean absolute error in joules. The first
+// day is a warm-up and is excluded.
+func (e *EWMA) MAE(trace []float64) (float64, error) {
+	var sum float64
+	n := 0
+	for i, h := range trace {
+		if i >= SlotsPerDay {
+			pred := e.Predict(1)[0]
+			sum += math.Abs(pred - h)
+			n++
+		}
+		if err := e.Observe(h); err != nil {
+			return 0, err
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,117 @@
+package har
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/synth"
+)
+
+// Characterized is one fully characterized design point: what the paper's
+// Figure 3 plots and Table 2 tabulates.
+type Characterized struct {
+	Spec DesignPointSpec
+	// Accuracy is the test-split recognition accuracy in [0,1].
+	Accuracy float64
+	// Breakdown is the per-activity energy/time itemization.
+	Breakdown energy.Breakdown
+	// Model is the trained classifier (kept for pipeline simulation).
+	Model *Model
+}
+
+// EnergyPerActivity is the Table 2 "Energy (mJ)" value, in joules.
+func (c Characterized) EnergyPerActivity() float64 { return c.Breakdown.Total() }
+
+// Power is the Table 2 "Power (mW)" value, in watts.
+func (c Characterized) Power() float64 { return c.Breakdown.Power() }
+
+// CoreDP converts the characterization into the (accuracy, power) pair the
+// REAP optimizer consumes.
+func (c Characterized) CoreDP() core.DesignPoint {
+	return core.DesignPoint{Name: c.Spec.Name, Accuracy: c.Accuracy, Power: c.Power()}
+}
+
+// Characterize trains and prices every provided spec against the corpus.
+// Design points are independent, so they are characterized concurrently.
+func Characterize(ds *synth.Dataset, specs []DesignPointSpec) ([]Characterized, error) {
+	out := make([]Characterized, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := specs[i]
+			model, err := TrainModel(ds, spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			breakdown, err := energy.Activity(spec.EnergyProfile())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = Characterized{
+				Spec:      spec,
+				Accuracy:  model.TestAcc,
+				Breakdown: breakdown,
+				Model:     model,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("har: characterizing %s: %w", specs[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// ParetoFront filters characterized points to the non-dominated set,
+// ordered by decreasing power (DP1-first, like the paper).
+func ParetoFront(points []Characterized) []Characterized {
+	var front []Characterized
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			better := q.Accuracy >= p.Accuracy && q.Power() <= p.Power()
+			strictly := q.Accuracy > p.Accuracy || q.Power() < p.Power()
+			if better && strictly {
+				dominated = true
+				break
+			}
+			if j < i && q.Accuracy == p.Accuracy && q.Power() == p.Power() {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool { return front[i].Power() > front[j].Power() })
+	return front
+}
+
+// CoreConfig assembles a REAP configuration from characterized design
+// points (typically the Pareto front) using the paper's period and
+// off-state power.
+func CoreConfig(points []Characterized, alpha float64) core.Config {
+	cfg := core.Config{
+		Period: core.DefaultPeriod,
+		POff:   energy.POff,
+		Alpha:  alpha,
+	}
+	for _, p := range points {
+		cfg.DPs = append(cfg.DPs, p.CoreDP())
+	}
+	return cfg
+}

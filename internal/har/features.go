@@ -1,0 +1,319 @@
+// Package har implements the paper's driver application: human activity
+// recognition on a wearable device. It wires the synthetic user-study
+// corpus (internal/synth), the signal-processing feature bank
+// (internal/dsp), the neural classifier (internal/nn) and the component
+// energy model (internal/energy) into the 24 design points of Figure 2,
+// characterizes each one (accuracy from training/testing, energy from the
+// calibrated model) and extracts the Pareto-optimal set that REAP consumes.
+package har
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/synth"
+)
+
+// AxesMask selects accelerometer axes.
+type AxesMask uint8
+
+// Axis bits.
+const (
+	AxisX AxesMask = 1 << iota
+	AxisY
+	AxisZ
+
+	// AxesNone disables the accelerometer entirely.
+	AxesNone AxesMask = 0
+	// AxesXY enables the x and y axes.
+	AxesXY = AxisX | AxisY
+	// AxesAll enables all three axes.
+	AxesAll = AxisX | AxisY | AxisZ
+)
+
+// Count returns the number of enabled axes.
+func (m AxesMask) Count() int {
+	n := 0
+	for b := AxisX; b <= AxisZ; b <<= 1 {
+		if m&b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String names the mask ("xyz", "y", "none", ...).
+func (m AxesMask) String() string {
+	if m == 0 {
+		return "none"
+	}
+	s := ""
+	if m&AxisX != 0 {
+		s += "x"
+	}
+	if m&AxisY != 0 {
+		s += "y"
+	}
+	if m&AxisZ != 0 {
+		s += "z"
+	}
+	return s
+}
+
+// AccelFeatureKind selects the accelerometer feature family.
+type AccelFeatureKind int
+
+const (
+	// AccelNone: the accelerometer contributes no features.
+	AccelNone AccelFeatureKind = iota
+	// AccelStats: the statistical feature bank (mean, deviation, range,
+	// crossings, IQR) per axis — the paper's "Statistics of accel".
+	AccelStats
+	// AccelDWT: Haar wavelet band energies per axis — "DWT of accel".
+	AccelDWT
+)
+
+// String names the feature family.
+func (k AccelFeatureKind) String() string {
+	switch k {
+	case AccelNone:
+		return "none"
+	case AccelStats:
+		return "stats"
+	case AccelDWT:
+		return "dwt"
+	default:
+		return fmt.Sprintf("accelfeat(%d)", int(k))
+	}
+}
+
+// StretchFeatureKind selects the stretch-sensor feature family.
+type StretchFeatureKind int
+
+const (
+	// StretchNone: no stretch features.
+	StretchNone StretchFeatureKind = iota
+	// StretchFFT16: magnitudes of a 16-point FFT — "16-FFT of stretch".
+	StretchFFT16
+	// StretchStats: statistical summary — "Statistics of stretch".
+	StretchStats
+	// StretchGoertzel6: the six lowest FFT bins computed with per-bin
+	// Goertzel filters — a partial-spectrum extension that trades the
+	// (uninformative) top bins for feature-generation energy.
+	StretchGoertzel6
+)
+
+// String names the feature family.
+func (k StretchFeatureKind) String() string {
+	switch k {
+	case StretchNone:
+		return "none"
+	case StretchFFT16:
+		return "fft16"
+	case StretchStats:
+		return "stats"
+	case StretchGoertzel6:
+		return "goertzel6"
+	default:
+		return fmt.Sprintf("stretchfeat(%d)", int(k))
+	}
+}
+
+// Feature-bank dimensionalities.
+const (
+	// statsPerAxis is the statistical feature count per accelerometer
+	// axis: mean, std, min, max, range, mean-crossing rate, IQR.
+	statsPerAxis = 7
+	// dwtLevels and dwtResample control the wavelet family: each axis is
+	// resampled to dwtResample points and decomposed dwtLevels deep,
+	// giving dwtLevels+1 band energies per axis.
+	dwtLevels   = 2
+	dwtResample = 16
+	// fftBins is the 16-point FFT magnitude count (n/2+1).
+	fftBins = 16/2 + 1
+	// stretchStatCount is the statistical stretch summary width.
+	stretchStatCount = 4
+	// goertzelBins is the partial-spectrum width of StretchGoertzel6.
+	goertzelBins = 6
+)
+
+// FeatureConfig fixes the sensing and feature knobs of a design point
+// (everything in Figure 2 except the classifier structure).
+type FeatureConfig struct {
+	// Axes selects the accelerometer axes.
+	Axes AxesMask
+	// SensingFraction is the fraction of the window the accelerometer
+	// samples (1, 0.75, 0.5 or 0.375 in the paper's knob set).
+	SensingFraction float64
+	// AccelFeat selects the accelerometer feature family.
+	AccelFeat AccelFeatureKind
+	// StretchFeat selects the stretch feature family. The stretch sensor
+	// is passive and stays on for the whole window.
+	StretchFeat StretchFeatureKind
+}
+
+// Validate checks knob consistency.
+func (c FeatureConfig) Validate() error {
+	if c.Axes.Count() == 0 && c.AccelFeat != AccelNone {
+		return fmt.Errorf("har: accel features %v with no axes enabled", c.AccelFeat)
+	}
+	if c.Axes.Count() > 0 && c.AccelFeat == AccelNone {
+		return fmt.Errorf("har: axes %v enabled with no accel features", c.Axes)
+	}
+	if c.Axes.Count() > 0 &&
+		(c.SensingFraction <= 0 || c.SensingFraction > 1 || math.IsNaN(c.SensingFraction)) {
+		return fmt.Errorf("har: sensing fraction %v outside (0,1]", c.SensingFraction)
+	}
+	if c.AccelFeat == AccelNone && c.StretchFeat == StretchNone {
+		return fmt.Errorf("har: design point senses nothing")
+	}
+	return nil
+}
+
+// Dim returns the feature-vector width the configuration produces.
+func (c FeatureConfig) Dim() int {
+	d := 0
+	switch c.AccelFeat {
+	case AccelStats:
+		d += statsPerAxis * c.Axes.Count()
+	case AccelDWT:
+		d += (dwtLevels + 1) * c.Axes.Count()
+	}
+	switch c.StretchFeat {
+	case StretchFFT16:
+		d += fftBins
+	case StretchStats:
+		d += stretchStatCount
+	case StretchGoertzel6:
+		d += goertzelBins
+	}
+	return d
+}
+
+// Extract computes the feature vector for one activity window under the
+// configuration. The accelerometer channels are truncated to the sensing
+// fraction first — samples after the sensor powers down simply do not
+// exist on the device.
+func (c FeatureConfig) Extract(w synth.Window) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, c.Dim())
+	if c.AccelFeat != AccelNone {
+		for _, axis := range c.activeAxes(w) {
+			seen := dsp.Truncate(axis, c.SensingFraction)
+			switch c.AccelFeat {
+			case AccelStats:
+				out = append(out, accelStats(seen)...)
+			case AccelDWT:
+				bands, err := dsp.HaarBandEnergies(dsp.ResampleLinear(seen, dwtResample), dwtLevels)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, bands...)
+			}
+		}
+	}
+	switch c.StretchFeat {
+	case StretchFFT16:
+		mags, err := dsp.RealFFTMagnitudes(w.Stretch, 16)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mags...)
+	case StretchStats:
+		out = append(out,
+			dsp.Mean(w.Stretch), dsp.Std(w.Stretch),
+			dsp.Range(w.Stretch), dsp.IQR(w.Stretch))
+	case StretchGoertzel6:
+		bins := make([]int, goertzelBins)
+		for i := range bins {
+			bins[i] = i
+		}
+		mags, err := dsp.GoertzelMagnitudes(w.Stretch, 16, bins)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mags...)
+	}
+	return out, nil
+}
+
+// activeAxes returns the enabled accelerometer channels in x, y, z order.
+func (c FeatureConfig) activeAxes(w synth.Window) [][]float64 {
+	var axes [][]float64
+	if c.Axes&AxisX != 0 {
+		axes = append(axes, w.AccelX)
+	}
+	if c.Axes&AxisY != 0 {
+		axes = append(axes, w.AccelY)
+	}
+	if c.Axes&AxisZ != 0 {
+		axes = append(axes, w.AccelZ)
+	}
+	return axes
+}
+
+// accelStats is the statistical feature bank for one axis.
+func accelStats(x []float64) []float64 {
+	n := float64(len(x))
+	if n == 0 {
+		n = 1
+	}
+	return []float64{
+		dsp.Mean(x),
+		dsp.Std(x),
+		dsp.Min(x),
+		dsp.Max(x),
+		dsp.Range(x),
+		float64(dsp.MeanCrossings(x)) / n,
+		dsp.IQR(x),
+	}
+}
+
+// Normalizer standardizes features to zero mean and unit variance using
+// statistics estimated on the training split only.
+type Normalizer struct {
+	Mean, Std []float64
+}
+
+// FitNormalizer estimates per-feature statistics from rows.
+func FitNormalizer(rows [][]float64) *Normalizer {
+	if len(rows) == 0 {
+		return &Normalizer{}
+	}
+	d := len(rows[0])
+	n := &Normalizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, r := range rows {
+		for j, v := range r {
+			n.Mean[j] += v
+		}
+	}
+	for j := range n.Mean {
+		n.Mean[j] /= float64(len(rows))
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			d := v - n.Mean[j]
+			n.Std[j] += d * d
+		}
+	}
+	for j := range n.Std {
+		n.Std[j] = math.Sqrt(n.Std[j] / float64(len(rows)))
+		if n.Std[j] < 1e-9 {
+			n.Std[j] = 1
+		}
+	}
+	return n
+}
+
+// Apply standardizes one feature vector in place and returns it.
+func (n *Normalizer) Apply(x []float64) []float64 {
+	for j := range x {
+		if j < len(n.Mean) {
+			x[j] = (x[j] - n.Mean[j]) / n.Std[j]
+		}
+	}
+	return x
+}

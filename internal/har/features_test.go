@@ -1,0 +1,164 @@
+package har
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func testWindow(act synth.Activity) synth.Window {
+	u := synth.NewUserProfile(0, 42)
+	return synth.Generate(u, act, rand.New(rand.NewSource(1)))
+}
+
+func TestAxesMask(t *testing.T) {
+	cases := []struct {
+		m    AxesMask
+		n    int
+		name string
+	}{
+		{AxesNone, 0, "none"},
+		{AxisX, 1, "x"},
+		{AxisY, 1, "y"},
+		{AxisZ, 1, "z"},
+		{AxesXY, 2, "xy"},
+		{AxesAll, 3, "xyz"},
+		{AxisX | AxisZ, 2, "xz"},
+	}
+	for _, tc := range cases {
+		if tc.m.Count() != tc.n {
+			t.Errorf("%v Count = %d, want %d", tc.m, tc.m.Count(), tc.n)
+		}
+		if tc.m.String() != tc.name {
+			t.Errorf("mask String = %q, want %q", tc.m.String(), tc.name)
+		}
+	}
+}
+
+func TestFeatureConfigValidate(t *testing.T) {
+	bad := []FeatureConfig{
+		{Axes: AxesNone, AccelFeat: AccelStats, StretchFeat: StretchFFT16},
+		{Axes: AxesAll, SensingFraction: 1, AccelFeat: AccelNone, StretchFeat: StretchFFT16},
+		{Axes: AxesAll, SensingFraction: 0, AccelFeat: AccelStats, StretchFeat: StretchFFT16},
+		{Axes: AxesAll, SensingFraction: 1.5, AccelFeat: AccelStats, StretchFeat: StretchFFT16},
+		{Axes: AxesAll, SensingFraction: math.NaN(), AccelFeat: AccelStats, StretchFeat: StretchFFT16},
+		{Axes: AxesNone, AccelFeat: AccelNone, StretchFeat: StretchNone},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, c)
+		}
+		if _, err := c.Extract(testWindow(synth.Sit)); err == nil {
+			t.Errorf("case %d: Extract accepted invalid config", i)
+		}
+	}
+	good := withStretchFFT(AxesAll, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestFeatureDimMatchesExtract(t *testing.T) {
+	w := testWindow(synth.Walk)
+	configs := []FeatureConfig{
+		withStretchFFT(AxesAll, 1.0),
+		withStretchFFT(AxesXY, 0.5),
+		withStretchFFT(AxisY, 0.375),
+		withStretchFFT(AxesNone, 0),
+		{Axes: AxesAll, SensingFraction: 1, AccelFeat: AccelDWT, StretchFeat: StretchFFT16},
+		{StretchFeat: StretchStats},
+		{Axes: AxisY, SensingFraction: 1, AccelFeat: AccelStats, StretchFeat: StretchNone},
+	}
+	for _, c := range configs {
+		x, err := c.Extract(w)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if len(x) != c.Dim() {
+			t.Errorf("config %+v: Extract len %d != Dim %d", c, len(x), c.Dim())
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("config %+v: feature %d is %v", c, j, v)
+			}
+		}
+	}
+}
+
+func TestSensingFractionChangesFeatures(t *testing.T) {
+	// A transition whose ramp is late in the window must look different
+	// under full-window and truncated sensing.
+	u := synth.NewUserProfile(1, 7)
+	var w synth.Window
+	// Find a transition window with a clearly late posture change.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		w = synth.Generate(u, synth.Transition, rng)
+		head := mean(w.AccelY[:40])
+		tail := mean(w.AccelY[120:])
+		if math.Abs(head-tail) > 0.3 {
+			break
+		}
+	}
+	full := withStretchFFT(AxisY, 1.0)
+	short := withStretchFFT(AxisY, 0.375)
+	xf, err := full.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := short.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range feature (index 4 of the y stats) must shrink under truncation
+	// when the change happens late.
+	if xs[4] >= xf[4] {
+		t.Errorf("truncated range %v not below full-window range %v", xs[4], xf[4])
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 30}, {5, 50}}
+	n := FitNormalizer(rows)
+	if math.Abs(n.Mean[0]-3) > 1e-12 || math.Abs(n.Mean[1]-30) > 1e-12 {
+		t.Fatalf("means %v", n.Mean)
+	}
+	x := n.Apply([]float64{3, 30})
+	if math.Abs(x[0]) > 1e-12 || math.Abs(x[1]) > 1e-12 {
+		t.Fatalf("centered value %v, want zeros", x)
+	}
+	// Constant features must not divide by zero.
+	n2 := FitNormalizer([][]float64{{7}, {7}})
+	y := n2.Apply([]float64{7})
+	if math.IsNaN(y[0]) || math.IsInf(y[0], 0) {
+		t.Fatalf("constant feature normalized to %v", y[0])
+	}
+	// Empty input.
+	n3 := FitNormalizer(nil)
+	if out := n3.Apply([]float64{1, 2}); out[0] != 1 || out[1] != 2 {
+		t.Fatal("empty normalizer must be identity")
+	}
+}
+
+func TestFeatureKindStrings(t *testing.T) {
+	for _, k := range []AccelFeatureKind{AccelNone, AccelStats, AccelDWT, AccelFeatureKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty accel feature name for %d", int(k))
+		}
+	}
+	for _, k := range []StretchFeatureKind{StretchNone, StretchFFT16, StretchStats, StretchFeatureKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty stretch feature name for %d", int(k))
+		}
+	}
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,180 @@
+package har
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/nn"
+)
+
+// DesignPointSpec is one complete configuration from the knob space of
+// Figure 2: sensing, features and classifier structure.
+type DesignPointSpec struct {
+	// Name identifies the spec; the paper's five Pareto points keep their
+	// published names DP1..DP5.
+	Name string
+	// Features fixes the sensing and feature knobs.
+	Features FeatureConfig
+	// Hidden is the classifier's hidden-layer widths; nil means a single
+	// softmax layer (the paper's "4×7" structure).
+	Hidden []int
+	// Quantized selects int8 post-training quantization of the trained
+	// classifier, priced at the native-MAC rate (extension).
+	Quantized bool
+}
+
+// NNSizes returns the full layer-size spec for the classifier.
+func (s DesignPointSpec) NNSizes() []int {
+	sizes := []int{s.Features.Dim()}
+	sizes = append(sizes, s.Hidden...)
+	return append(sizes, NumClasses)
+}
+
+// NumClasses is the activity-class count (six activities + transition).
+const NumClasses = 7
+
+// MACs returns the classifier's multiply-accumulate count.
+func (s DesignPointSpec) MACs() int {
+	sizes := s.NNSizes()
+	total := 0
+	for i := 0; i+1 < len(sizes); i++ {
+		total += sizes[i] * sizes[i+1]
+	}
+	return total
+}
+
+// EnergyProfile maps the spec onto the component energy model.
+func (s DesignPointSpec) EnergyProfile() energy.Profile {
+	p := energy.Profile{
+		AccelAxes:       s.Features.Axes.Count(),
+		SensingFraction: s.Features.SensingFraction,
+		AccelDWT:        s.Features.AccelFeat == AccelDWT,
+		StretchFFT:      s.Features.StretchFeat == StretchFFT16,
+		StretchStats:    s.Features.StretchFeat == StretchStats,
+		NNMACs:          s.MACs(),
+		QuantizedNN:     s.Quantized,
+		TxBytes:         energy.LabelBytes,
+	}
+	if s.Features.StretchFeat == StretchGoertzel6 {
+		p.StretchGoertzelBins = goertzelBins
+	}
+	return p
+}
+
+// String renders the spec compactly.
+func (s DesignPointSpec) String() string {
+	return fmt.Sprintf("%s{axes:%s sense:%.0f%% accel:%v stretch:%v nn:%v}",
+		s.Name, s.Features.Axes, 100*s.Features.SensingFraction,
+		s.Features.AccelFeat, s.Features.StretchFeat, s.NNSizes())
+}
+
+// withStretchFFT builds the common feature shape of the published points.
+func withStretchFFT(axes AxesMask, fraction float64) FeatureConfig {
+	accel := AccelStats
+	if axes == AxesNone {
+		accel = AccelNone
+		fraction = 0
+	}
+	return FeatureConfig{
+		Axes:            axes,
+		SensingFraction: fraction,
+		AccelFeat:       accel,
+		StretchFeat:     StretchFFT16,
+	}
+}
+
+// PaperFive returns the five Pareto-optimal design points of Table 2.
+func PaperFive() []DesignPointSpec {
+	return []DesignPointSpec{
+		{Name: "DP1", Features: withStretchFFT(AxesAll, 1.0), Hidden: []int{12}},
+		{Name: "DP2", Features: withStretchFFT(AxisY, 1.0), Hidden: []int{12}},
+		{Name: "DP3", Features: withStretchFFT(AxesXY, 0.5), Hidden: []int{12}},
+		{Name: "DP4", Features: withStretchFFT(AxisY, 0.375), Hidden: []int{12}},
+		{Name: "DP5", Features: withStretchFFT(AxesNone, 0), Hidden: []int{12}},
+	}
+}
+
+// AllSpecs returns the full 24-point design space the paper implemented on
+// the prototype: the five published points plus nineteen further
+// combinations of the Figure 2 knobs (sensing-period sweeps, wavelet
+// features, smaller classifiers, single-sensor variants). The published
+// five appear first.
+func AllSpecs() []DesignPointSpec {
+	specs := PaperFive()
+	add := func(name string, f FeatureConfig, hidden []int) {
+		specs = append(specs, DesignPointSpec{Name: name, Features: f, Hidden: hidden})
+	}
+
+	// Sensing-period sweep on all axes.
+	add("xyz-75", withStretchFFT(AxesAll, 0.75), []int{12})
+	add("xyz-50", withStretchFFT(AxesAll, 0.5), []int{12})
+	// Sensing-period sweep on x+y.
+	add("xy-100", withStretchFFT(AxesXY, 1.0), []int{12})
+	add("xy-75", withStretchFFT(AxesXY, 0.75), []int{12})
+	add("xy-37", withStretchFFT(AxesXY, 0.375), []int{12})
+	// Sensing-period sweep on y alone.
+	add("y-75", withStretchFFT(AxisY, 0.75), []int{12})
+	add("y-50", withStretchFFT(AxisY, 0.5), []int{12})
+	// Wavelet feature family.
+	add("xyz-dwt", FeatureConfig{Axes: AxesAll, SensingFraction: 1,
+		AccelFeat: AccelDWT, StretchFeat: StretchFFT16}, []int{12})
+	add("y-dwt", FeatureConfig{Axes: AxisY, SensingFraction: 1,
+		AccelFeat: AccelDWT, StretchFeat: StretchFFT16}, []int{12})
+	// Smaller classifiers (the paper's 4×8×7 and 4×7 structures).
+	add("xyz-nn8", withStretchFFT(AxesAll, 1.0), []int{8})
+	add("xyz-nn0", withStretchFFT(AxesAll, 1.0), nil)
+	add("y-nn8", withStretchFFT(AxisY, 1.0), []int{8})
+	add("y-nn0", withStretchFFT(AxisY, 1.0), nil)
+	add("stretch-nn8", withStretchFFT(AxesNone, 0), []int{8})
+	add("stretch-nn0", withStretchFFT(AxesNone, 0), nil)
+	// Statistical stretch features instead of the FFT.
+	add("stretch-stats", FeatureConfig{StretchFeat: StretchStats}, []int{12})
+	// Alternative axis pair.
+	add("xz-100", withStretchFFT(AxisX|AxisZ, 1.0), []int{12})
+	// Accelerometer without the stretch sensor.
+	add("xyz-nostretch", FeatureConfig{Axes: AxesAll, SensingFraction: 1,
+		AccelFeat: AccelStats, StretchFeat: StretchNone}, []int{12})
+	add("y-nostretch", FeatureConfig{Axes: AxisY, SensingFraction: 1,
+		AccelFeat: AccelStats, StretchFeat: StretchNone}, []int{12})
+
+	return specs
+}
+
+// ExtendedSpecs returns the design points beyond the paper's 24: the five
+// published points with int8-quantized classifiers, and partial-spectrum
+// Goertzel variants of the stretch-heavy points. These exercise the two
+// extension knobs (precision, spectrum width) the paper's Figure 2 does
+// not include.
+func ExtendedSpecs() []DesignPointSpec {
+	var specs []DesignPointSpec
+	for _, s := range PaperFive() {
+		q := s
+		q.Name = s.Name + "-int8"
+		q.Quantized = true
+		specs = append(specs, q)
+	}
+	gz := func(name string, axes AxesMask, fraction float64) DesignPointSpec {
+		f := withStretchFFT(axes, fraction)
+		f.StretchFeat = StretchGoertzel6
+		return DesignPointSpec{Name: name, Features: f, Hidden: []int{12}}
+	}
+	specs = append(specs,
+		gz("DP2-gz6", AxisY, 1.0),
+		gz("DP5-gz6", AxesNone, 0),
+	)
+	return specs
+}
+
+// TrainSpec fixes the training hyper-parameters shared by every design
+// point, so accuracy differences come from the knobs, not the tuning.
+func TrainSpec() nn.TrainConfig {
+	return nn.TrainConfig{
+		Epochs:       80,
+		BatchSize:    32,
+		LearningRate: 0.08,
+		Momentum:     0.9,
+		WeightDecay:  1e-4,
+		Seed:         97,
+		Patience:     12,
+	}
+}

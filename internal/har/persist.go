@@ -1,0 +1,105 @@
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Bundle is the serializable form of a trained design point: everything
+// the device needs to run it (spec, normalizer, weights) plus the
+// characterization metadata. A deployment flashes bundles; retraining
+// happens off-device.
+type Bundle struct {
+	Name            string      `json:"name"`
+	Axes            uint8       `json:"axes"`
+	SensingFraction float64     `json:"sensing_fraction"`
+	AccelFeat       int         `json:"accel_feat"`
+	StretchFeat     int         `json:"stretch_feat"`
+	Hidden          []int       `json:"hidden"`
+	Quantized       bool        `json:"quantized"`
+	NormMean        []float64   `json:"norm_mean"`
+	NormStd         []float64   `json:"norm_std"`
+	Net             *nn.Network `json:"net"`
+	ValAcc          float64     `json:"val_acc"`
+	TestAcc         float64     `json:"test_acc"`
+}
+
+// SaveModels serializes trained models to JSON.
+func SaveModels(models []*Model) ([]byte, error) {
+	var bundles []Bundle
+	for _, m := range models {
+		if m == nil || m.Net == nil {
+			return nil, fmt.Errorf("har: cannot save a nil model")
+		}
+		bundles = append(bundles, Bundle{
+			Name:            m.Spec.Name,
+			Axes:            uint8(m.Spec.Features.Axes),
+			SensingFraction: m.Spec.Features.SensingFraction,
+			AccelFeat:       int(m.Spec.Features.AccelFeat),
+			StretchFeat:     int(m.Spec.Features.StretchFeat),
+			Hidden:          m.Spec.Hidden,
+			Quantized:       m.Spec.Quantized,
+			NormMean:        m.Normalizer.Mean,
+			NormStd:         m.Normalizer.Std,
+			Net:             m.Net,
+			ValAcc:          m.ValAcc,
+			TestAcc:         m.TestAcc,
+		})
+	}
+	return json.MarshalIndent(bundles, "", " ")
+}
+
+// LoadModels restores models serialized with SaveModels, re-deriving the
+// quantized network for quantized specs and validating feature/classifier
+// shape consistency.
+func LoadModels(data []byte) ([]*Model, error) {
+	var bundles []Bundle
+	if err := json.Unmarshal(data, &bundles); err != nil {
+		return nil, fmt.Errorf("har: decoding bundles: %w", err)
+	}
+	var models []*Model
+	for i, b := range bundles {
+		spec := DesignPointSpec{
+			Name: b.Name,
+			Features: FeatureConfig{
+				Axes:            AxesMask(b.Axes),
+				SensingFraction: b.SensingFraction,
+				AccelFeat:       AccelFeatureKind(b.AccelFeat),
+				StretchFeat:     StretchFeatureKind(b.StretchFeat),
+			},
+			Hidden:    b.Hidden,
+			Quantized: b.Quantized,
+		}
+		if err := spec.Features.Validate(); err != nil {
+			return nil, fmt.Errorf("har: bundle %d (%s): %w", i, b.Name, err)
+		}
+		if b.Net == nil || len(b.Net.Layers) == 0 {
+			return nil, fmt.Errorf("har: bundle %d (%s): missing network", i, b.Name)
+		}
+		if got, want := b.Net.InputSize(), spec.Features.Dim(); got != want {
+			return nil, fmt.Errorf("har: bundle %d (%s): network input %d, features produce %d",
+				i, b.Name, got, want)
+		}
+		if len(b.NormMean) != spec.Features.Dim() || len(b.NormStd) != spec.Features.Dim() {
+			return nil, fmt.Errorf("har: bundle %d (%s): normalizer width mismatch", i, b.Name)
+		}
+		m := &Model{
+			Spec:       spec,
+			Normalizer: &Normalizer{Mean: b.NormMean, Std: b.NormStd},
+			Net:        b.Net,
+			ValAcc:     b.ValAcc,
+			TestAcc:    b.TestAcc,
+		}
+		if b.Quantized {
+			q, err := nn.Quantize(b.Net)
+			if err != nil {
+				return nil, fmt.Errorf("har: bundle %d (%s): %w", i, b.Name, err)
+			}
+			m.QNet = q
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}

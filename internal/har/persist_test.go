@@ -1,0 +1,111 @@
+package har
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	ds, err := synth.NewDataset(synth.CorpusConfig{NumUsers: 4, TotalWindows: 560, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []DesignPointSpec{PaperFive()[0], PaperFive()[4]}
+	// Include a quantized spec to exercise QNet restoration.
+	q := PaperFive()[1]
+	q.Name = "DP2-int8"
+	q.Quantized = true
+	specs = append(specs, q)
+
+	var models []*Model
+	for _, s := range specs {
+		m, err := TrainModel(ds, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	data, err := SaveModels(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(models) {
+		t.Fatalf("%d models restored", len(back))
+	}
+	// Every restored model must classify identically to the original.
+	rng := rand.New(rand.NewSource(9))
+	for k := range models {
+		if back[k].Spec.Name != models[k].Spec.Name {
+			t.Fatalf("name %q != %q", back[k].Spec.Name, models[k].Spec.Name)
+		}
+		if back[k].TestAcc != models[k].TestAcc {
+			t.Fatalf("%s: test accuracy lost", back[k].Spec.Name)
+		}
+		if models[k].Spec.Quantized && back[k].QNet == nil {
+			t.Fatalf("%s: quantized network not restored", back[k].Spec.Name)
+		}
+		for trial := 0; trial < 30; trial++ {
+			u := ds.Users[rng.Intn(len(ds.Users))]
+			w := synth.Generate(u, synth.Activities()[rng.Intn(synth.NumActivities)], rng)
+			a, err := models[k].Classify(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back[k].Classify(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%s trial %d: original %v, restored %v", back[k].Spec.Name, trial, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadModelsRejectsCorrupt(t *testing.T) {
+	if _, err := LoadModels([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A structurally valid bundle with a width mismatch.
+	bundle := []Bundle{{
+		Name:            "bad",
+		Axes:            uint8(AxesAll),
+		SensingFraction: 1,
+		AccelFeat:       int(AccelStats),
+		StretchFeat:     int(StretchFFT16),
+		NormMean:        make([]float64, 3), // wrong width
+		NormStd:         make([]float64, 3),
+	}}
+	data, err := json.Marshal(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(data); err == nil {
+		t.Fatal("missing network accepted")
+	}
+	// Invalid feature config.
+	bundle[0].AccelFeat = int(AccelNone)
+	data, _ = json.Marshal(bundle)
+	if _, err := LoadModels(data); err == nil {
+		t.Fatal("invalid feature config accepted")
+	}
+}
+
+func TestSaveModelsRejectsNil(t *testing.T) {
+	if _, err := SaveModels([]*Model{nil}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := SaveModels([]*Model{{}}); err == nil {
+		t.Fatal("model without network accepted")
+	}
+}

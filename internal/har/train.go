@@ -1,0 +1,116 @@
+package har
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/synth"
+)
+
+// Model is a trained design point: the spec, its fitted normalizer and
+// classifier, and the measured accuracies. Quantized specs additionally
+// carry the int8 network, which then serves all inference.
+type Model struct {
+	Spec       DesignPointSpec
+	Normalizer *Normalizer
+	Net        *nn.Network
+	QNet       *nn.QuantizedNetwork
+	ValAcc     float64
+	TestAcc    float64
+}
+
+// Classify runs the full on-device pipeline (feature extraction,
+// normalization, inference) on one window and returns the predicted
+// activity.
+func (m *Model) Classify(w synth.Window) (synth.Activity, error) {
+	x, err := m.Spec.Features.Extract(w)
+	if err != nil {
+		return 0, err
+	}
+	input := m.Normalizer.Apply(x)
+	var pred int
+	if m.QNet != nil {
+		pred, err = m.QNet.Predict(input)
+	} else {
+		pred, err = m.Net.Predict(input)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return synth.Activity(pred), nil
+}
+
+// TrainModel trains the classifier of one design point on the corpus's
+// 60/20/20 split and reports validation and test accuracy.
+func TrainModel(ds *synth.Dataset, spec DesignPointSpec) (*Model, error) {
+	if err := spec.Features.Validate(); err != nil {
+		return nil, err
+	}
+	features := func(indices []int) ([][]float64, []int, error) {
+		rows := make([][]float64, 0, len(indices))
+		labels := make([]int, 0, len(indices))
+		for _, i := range indices {
+			x, err := spec.Features.Extract(ds.Windows[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, x)
+			labels = append(labels, int(ds.Windows[i].Activity))
+		}
+		return rows, labels, nil
+	}
+
+	trainX, trainY, err := features(ds.Train)
+	if err != nil {
+		return nil, err
+	}
+	norm := FitNormalizer(trainX)
+	toSamples := func(rows [][]float64, labels []int) []nn.Sample {
+		samples := make([]nn.Sample, len(rows))
+		for i := range rows {
+			samples[i] = nn.Sample{X: norm.Apply(rows[i]), Label: labels[i]}
+		}
+		return samples
+	}
+	trainSet := toSamples(trainX, trainY)
+
+	valX, valY, err := features(ds.Val)
+	if err != nil {
+		return nil, err
+	}
+	valSet := toSamples(valX, valY)
+
+	cfg := TrainSpec()
+	net, err := nn.New(spec.NNSizes(), nn.ReLU, nn.Softmax, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("har: building %s classifier: %w", spec.Name, err)
+	}
+	res, err := nn.Train(net, trainSet, valSet, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("har: training %s: %w", spec.Name, err)
+	}
+
+	testX, testY, err := features(ds.Test)
+	if err != nil {
+		return nil, err
+	}
+	testSet := toSamples(testX, testY)
+
+	m := &Model{
+		Spec:       spec,
+		Normalizer: norm,
+		Net:        net,
+		ValAcc:     res.BestValAcc,
+		TestAcc:    nn.Accuracy(net, testSet),
+	}
+	if spec.Quantized {
+		q, err := nn.Quantize(net)
+		if err != nil {
+			return nil, fmt.Errorf("har: quantizing %s: %w", spec.Name, err)
+		}
+		m.QNet = q
+		m.TestAcc = nn.QuantizedAccuracy(q, testSet)
+	}
+	return m, nil
+}

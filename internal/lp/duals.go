@@ -1,0 +1,174 @@
+package lp
+
+// Dual-value (shadow price) extraction. For a maximization LP, the dual
+// value of constraint i is ∂z*/∂bᵢ: how much the optimal objective
+// improves per unit of right-hand side. REAP uses the energy constraint's
+// dual as the marginal value of harvested energy — the "accuracy per
+// joule" signal a harvesting runtime can act on (e.g. to decide whether
+// chasing more light is worth it).
+//
+// Duals are read from the optimal objective row: with the c−z reduced-cost
+// convention, a slack column sᵢ (unit coefficient on row i) carries
+// reduced cost −yᵢ and a surplus column (−1 coefficient) carries +yᵢ.
+// Rows that were sign-flipped during normalization flip their dual back.
+// Equality rows have no slack column; their duals are not recovered here
+// and are reported as NaN (callers that need them can perturb and
+// re-solve).
+
+import "math"
+
+// SolveWithDuals runs Solve and additionally extracts the dual value of
+// every inequality constraint at the optimum. The returned slice is
+// index-aligned with p.Constraints; equality rows hold NaN.
+func SolveWithDuals(p *Problem) (Solution, []float64, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{Status: Infeasible}, nil, err
+	}
+	n := p.NumVars()
+	m := p.NumConstraints()
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100 * (n + m + 10)
+	}
+
+	t, meta, nArt := buildWithMeta(p)
+	iters := 0
+	if nArt > 0 {
+		st, it := t.iterate(maxIter)
+		iters += it
+		if st == IterationLimit {
+			return Solution{Status: IterationLimit, Iterations: iters}, nil, nil
+		}
+		if t.rows[t.m][t.total] > 1e-7 {
+			return Solution{Status: Infeasible, Iterations: iters}, nil, nil
+		}
+		t.dropArtificials(nArt)
+		t.setObjective(p.Objective)
+	}
+	st, it := t.iterate(maxIter - iters)
+	iters += it
+	sol := Solution{Status: st, Iterations: iters}
+	if st != Optimal && st != IterationLimit {
+		return sol, nil, nil
+	}
+	sol.X = t.extract(n)
+	sol.Objective = p.Value(sol.X)
+
+	duals := make([]float64, m)
+	obj := t.rows[t.m]
+	for i := 0; i < m; i++ {
+		switch {
+		case meta[i].slackCol < 0:
+			duals[i] = math.NaN() // equality row
+		case meta[i].surplus:
+			duals[i] = obj[meta[i].slackCol] * meta[i].flip
+		default:
+			duals[i] = -obj[meta[i].slackCol] * meta[i].flip
+		}
+	}
+	return sol, duals, nil
+}
+
+// rowMeta records how each original constraint row was transformed.
+type rowMeta struct {
+	slackCol int     // column of the slack/surplus variable, -1 for EQ
+	surplus  bool    // true when the column carries a -1 (GE surplus)
+	flip     float64 // -1 when the row was negated during normalization
+}
+
+// buildWithMeta mirrors build but records per-row slack metadata.
+func buildWithMeta(p *Problem) (*tableau, []rowMeta, int) {
+	n := p.NumVars()
+	m := p.NumConstraints()
+
+	type row struct {
+		coeffs []float64
+		op     Op
+		rhs    float64
+		flip   float64
+	}
+	rows := make([]row, m)
+	for i, c := range p.Constraints {
+		r := row{coeffs: append([]float64(nil), c.Coeffs...), op: c.Op, rhs: c.RHS, flip: 1}
+		if r.rhs < 0 {
+			for j := range r.coeffs {
+				r.coeffs[j] = -r.coeffs[j]
+			}
+			r.rhs = -r.rhs
+			r.flip = -1
+			switch r.op {
+			case LE:
+				r.op = GE
+			case GE:
+				r.op = LE
+			}
+		}
+		rows[i] = r
+	}
+
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	total := n + nSlack + nArt
+	t := &tableau{
+		rows:  make([][]float64, m+1),
+		basis: make([]int, m),
+		m:     m,
+		total: total,
+	}
+	for i := range t.rows {
+		t.rows[i] = make([]float64, total+1)
+	}
+	meta := make([]rowMeta, m)
+
+	slackAt, artAt := n, n+nSlack
+	for i, r := range rows {
+		copy(t.rows[i], r.coeffs)
+		t.rows[i][total] = r.rhs
+		meta[i] = rowMeta{slackCol: -1, flip: r.flip}
+		switch r.op {
+		case LE:
+			t.rows[i][slackAt] = 1
+			t.basis[i] = slackAt
+			meta[i].slackCol = slackAt
+			slackAt++
+		case GE:
+			t.rows[i][slackAt] = -1
+			meta[i].slackCol = slackAt
+			meta[i].surplus = true
+			slackAt++
+			t.rows[i][artAt] = 1
+			t.basis[i] = artAt
+			artAt++
+		case EQ:
+			t.rows[i][artAt] = 1
+			t.basis[i] = artAt
+			artAt++
+		}
+	}
+
+	if nArt > 0 {
+		obj := t.rows[m]
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = -1
+		}
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= n+nSlack {
+				addRow(obj, t.rows[i], 1)
+			}
+		}
+	} else {
+		t.setObjective(p.Objective)
+	}
+	return t, meta, nArt
+}

@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests target the row-normalization path of the dual extraction:
+// constraints entered with negative right-hand sides are sign-flipped
+// internally, and the reported dual must be expressed against the
+// ORIGINAL orientation.
+
+func TestDualsFlippedLERow(t *testing.T) {
+	// max x + y s.t. -x - y <= -3 (i.e. x+y >= 3), x <= 5, y <= 5.
+	// Optimum x=y=5, z=10; the flipped row is slack there (x+y=10 > 3),
+	// so its dual is 0 and the two box rows carry dual 1 each.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1, -1}, Op: LE, RHS: -3},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 5},
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 5},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	if math.Abs(duals[0]) > 1e-7 {
+		t.Errorf("slack flipped row dual = %v, want 0", duals[0])
+	}
+	if math.Abs(duals[1]-1) > 1e-7 || math.Abs(duals[2]-1) > 1e-7 {
+		t.Errorf("box duals = %v %v, want 1 1", duals[1], duals[2])
+	}
+}
+
+func TestDualsBindingFlippedRow(t *testing.T) {
+	// min x+y (as max -x-y) s.t. x+y >= 3 entered as -x-y <= -3.
+	// Optimum on the flipped row with z = -3. Sensitivity to the ORIGINAL
+	// RHS b = -3: raising b to -3+h tightens x+y >= 3-h... careful:
+	// original row is -x-y <= b, so z*(b) = b (since x+y = -b at the
+	// optimum and z = -(x+y) = b). The dual must therefore be 1.
+	p := &Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1, -1}, Op: LE, RHS: -3},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	if math.Abs(sol.Objective-(-3)) > 1e-9 {
+		t.Fatalf("objective %v, want -3", sol.Objective)
+	}
+	const h = 1e-5
+	up := perturbRHS(p, 0, +h)
+	su, err := Solve(up)
+	if err != nil || su.Status != Optimal {
+		t.Fatalf("perturbed solve: err=%v status=%v", err, su.Status)
+	}
+	numeric := (su.Objective - sol.Objective) / h
+	if math.Abs(duals[0]-numeric) > 1e-4*(1+math.Abs(numeric)) {
+		t.Fatalf("flipped binding dual %v vs numeric %v", duals[0], numeric)
+	}
+}
+
+func TestDualsGERows(t *testing.T) {
+	// Diet-style problem: minimize cost (max negative cost) subject to
+	// nutritional floors entered as GE rows.
+	// max -(2x + 3y) s.t. x + 2y >= 4, 2x + y >= 4.
+	// Optimum x = y = 4/3, z = -20/3. Both rows bind.
+	p := &Problem{
+		Objective: []float64{-2, -3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Op: GE, RHS: 4},
+			{Coeffs: []float64{2, 1}, Op: GE, RHS: 4},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	if math.Abs(sol.Objective+20.0/3) > 1e-7 {
+		t.Fatalf("objective %v, want -20/3", sol.Objective)
+	}
+	// Finite-difference check of both GE duals.
+	for i := range p.Constraints {
+		const h = 1e-5
+		su, err := Solve(perturbRHS(p, i, +h))
+		if err != nil || su.Status != Optimal {
+			t.Fatal("perturbed solve failed")
+		}
+		sd, err := Solve(perturbRHS(p, i, -h))
+		if err != nil || sd.Status != Optimal {
+			t.Fatal("perturbed solve failed")
+		}
+		numeric := (su.Objective - sd.Objective) / (2 * h)
+		if math.Abs(duals[i]-numeric) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("GE row %d: dual %v vs numeric %v", i, duals[i], numeric)
+		}
+	}
+	// Raising a nutritional floor must cost: duals are negative for a
+	// maximization with binding GE rows.
+	for i, d := range duals {
+		if d >= 0 {
+			t.Errorf("GE dual %d = %v, want negative (tightening hurts)", i, d)
+		}
+	}
+}
+
+func TestDualsMixedRowsRandomized(t *testing.T) {
+	// Randomized LPs with LE, GE and flipped rows, duals checked by
+	// finite differences on clean (non-degenerate) instances.
+	rng := rand.New(rand.NewSource(77))
+	clean := 0
+	for attempt := 0; attempt < 500 && clean < 60; attempt++ {
+		n := 2 + rng.Intn(2)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*6 - 3
+		}
+		// Box constraints guarantee boundedness.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Op: LE, RHS: 3 + rng.Float64()*5})
+		}
+		// One GE floor on the sum (feasible at the boxes' scale).
+		all := make([]float64, n)
+		for j := range all {
+			all[j] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: all, Op: GE, RHS: rng.Float64() * 2})
+		// One flipped LE row: -x0 <= -r  (x0 >= r).
+		neg := make([]float64, n)
+		neg[0] = -1
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: neg, Op: LE, RHS: -rng.Float64()})
+
+		sol, duals, err := SolveWithDuals(p)
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		ok := true
+		for i := range p.Constraints {
+			const h = 1e-5
+			su, e1 := Solve(perturbRHS(p, i, +h))
+			sd, e2 := Solve(perturbRHS(p, i, -h))
+			if e1 != nil || e2 != nil || su.Status != Optimal || sd.Status != Optimal {
+				ok = false
+				break
+			}
+			numeric := (su.Objective - sd.Objective) / (2 * h)
+			left := (sol.Objective - sd.Objective) / h
+			right := (su.Objective - sol.Objective) / h
+			if math.Abs(left-right) > 1e-3*(1+math.Abs(numeric)) {
+				ok = false // degenerate: one-sided sensitivities differ
+				break
+			}
+			if math.Abs(duals[i]-numeric) > 1e-3*(1+math.Abs(numeric)) {
+				t.Fatalf("attempt %d row %d: dual %v vs numeric %v\n%s",
+					attempt, i, duals[i], numeric, p)
+			}
+		}
+		if ok {
+			clean++
+		}
+	}
+	if clean < 30 {
+		t.Fatalf("only %d clean randomized instances", clean)
+	}
+}

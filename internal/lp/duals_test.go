@@ -1,0 +1,162 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsKnownLP(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6.
+	// Optimum at (4, 0): the first constraint is binding with dual 3
+	// (relaxing x+y <= 5 lets x=5, z=15: +3), the second is slack (dual 0).
+	p := &Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Op: LE, RHS: 6},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	if math.Abs(duals[0]-3) > 1e-7 {
+		t.Errorf("dual[0] = %v, want 3", duals[0])
+	}
+	if math.Abs(duals[1]) > 1e-7 {
+		t.Errorf("dual[1] = %v, want 0 (slack constraint)", duals[1])
+	}
+}
+
+func TestDualsEqualityRowIsNaN(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 10},
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 6},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	if !math.IsNaN(duals[0]) {
+		t.Errorf("equality dual = %v, want NaN", duals[0])
+	}
+	// y <= 6 binds: each extra unit of y adds 2 to x+2y while removing 1
+	// from x (equality), net +1.
+	if math.Abs(duals[1]-1) > 1e-7 {
+		t.Errorf("dual[1] = %v, want 1", duals[1])
+	}
+}
+
+func TestDualsMatchFiniteDifference(t *testing.T) {
+	// Property: for random non-degenerate bounded LPs, the dual of each
+	// inequality equals the numerical sensitivity of z* to its RHS.
+	rng := rand.New(rand.NewSource(21))
+	trials := 0
+	for attempt := 0; attempt < 400 && trials < 150; attempt++ {
+		n := 2 + rng.Intn(3)
+		p := randomBoundedProblem(rng, n)
+		sol, duals, err := SolveWithDuals(p)
+		if err != nil || sol.Status != Optimal {
+			continue
+		}
+		const h = 1e-4
+		degenerate := false
+		for i := range p.Constraints {
+			up := perturbRHS(p, i, +h)
+			dn := perturbRHS(p, i, -h)
+			su, err1 := Solve(up)
+			sd, err2 := Solve(dn)
+			if err1 != nil || err2 != nil || su.Status != Optimal || sd.Status != Optimal {
+				degenerate = true
+				break
+			}
+			numeric := (su.Objective - sd.Objective) / (2 * h)
+			if math.Abs(numeric-duals[i]) > 1e-3*(1+math.Abs(numeric)) {
+				// Degenerate vertices have one-sided sensitivities; skip
+				// instances where the two one-sided slopes differ.
+				left := (sol.Objective - sd.Objective) / h
+				right := (su.Objective - sol.Objective) / h
+				if math.Abs(left-right) > 1e-3*(1+math.Abs(numeric)) {
+					degenerate = true
+					break
+				}
+				t.Fatalf("constraint %d: dual %v vs numeric %v\n%s", i, duals[i], numeric, p)
+			}
+		}
+		if !degenerate {
+			trials++
+		}
+	}
+	if trials < 50 {
+		t.Fatalf("only %d clean trials", trials)
+	}
+}
+
+func perturbRHS(p *Problem, i int, delta float64) *Problem {
+	out := &Problem{Objective: p.Objective}
+	for j, c := range p.Constraints {
+		nc := Constraint{Coeffs: c.Coeffs, Op: c.Op, RHS: c.RHS}
+		if j == i {
+			nc.RHS += delta
+		}
+		out.Constraints = append(out.Constraints, nc)
+	}
+	return out
+}
+
+func TestDualsREAPEnergyShadowPrice(t *testing.T) {
+	// For the REAP LP in Region 1 (budget binding, DP5 marginal), the
+	// energy dual must equal a5/(P5 - Poff) scaled by 1/TP: the accuracy
+	// gained per extra joule.
+	const tp = 3600.0
+	acc := []float64{0.94, 0.93, 0.92, 0.90, 0.76}
+	pw := []float64{2.76e-3, 2.30e-3, 1.82e-3, 1.64e-3, 1.20e-3}
+	const pOff = 50e-6
+	obj := make([]float64, 6)
+	timeRow := make([]float64, 6)
+	energyRow := make([]float64, 6)
+	for i := 0; i < 5; i++ {
+		obj[i] = acc[i] / tp
+		timeRow[i] = 1
+		energyRow[i] = pw[i]
+	}
+	timeRow[5] = 1
+	energyRow[5] = pOff
+	p := &Problem{
+		Objective: obj,
+		Constraints: []Constraint{
+			{Coeffs: timeRow, Op: EQ, RHS: tp},
+			{Coeffs: energyRow, Op: LE, RHS: 2.0},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("err=%v status=%v", err, sol.Status)
+	}
+	want := acc[4] / tp / (pw[4] - pOff)
+	if math.Abs(duals[1]-want) > 1e-6*want {
+		t.Fatalf("energy shadow price %v, want %v", duals[1], want)
+	}
+}
+
+func TestSolveWithDualsValidation(t *testing.T) {
+	if _, _, err := SolveWithDuals(&Problem{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	// Infeasible: no duals.
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 5},
+			{Coeffs: []float64{1}, Op: LE, RHS: 3},
+		},
+	}
+	sol, duals, err := SolveWithDuals(p)
+	if err != nil || sol.Status != Infeasible || duals != nil {
+		t.Fatalf("err=%v status=%v duals=%v", err, sol.Status, duals)
+	}
+}

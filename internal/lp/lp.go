@@ -1,0 +1,232 @@
+// Package lp implements a dense two-phase simplex solver for linear
+// programs. It is the substrate for the paper's Algorithm 1 (the REAP
+// procedure), which solves
+//
+//	maximize   c'x
+//	subject to A x (≤ | = | ≥) b,   x ≥ 0
+//
+// at every activity period on the IoT device. The solver is deliberately
+// allocation-light and deterministic: it uses Bland's anti-cycling rule, so
+// the same instance always pivots through the same sequence of bases.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Op is the relational operator of a constraint row.
+type Op int
+
+const (
+	// LE is a "less than or equal" (≤) constraint.
+	LE Op = iota
+	// GE is a "greater than or equal" (≥) constraint.
+	GE
+	// EQ is an equality (=) constraint.
+	EQ
+)
+
+// String returns the mathematical symbol for the operator.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set has no solution with x ≥ 0.
+	Infeasible
+	// Unbounded means the objective can be made arbitrarily large.
+	Unbounded
+	// IterationLimit means the pivot budget was exhausted before
+	// optimality; the returned solution is the best basis visited.
+	IterationLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Constraint is one row of the constraint system: Coeffs·x Op RHS.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program in the natural (not standard) form
+// maximize Objective·x subject to the Constraints and x ≥ 0.
+type Problem struct {
+	// Objective holds the coefficients c of the maximization objective.
+	Objective []float64
+	// Constraints holds the rows of the constraint system.
+	Constraints []Constraint
+	// MaxIter caps the number of simplex pivots across both phases.
+	// Zero selects a generous default derived from the problem size.
+	MaxIter int
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	// Status describes how the solve terminated.
+	Status Status
+	// X holds the optimal values of the decision variables
+	// (valid when Status is Optimal or IterationLimit).
+	X []float64
+	// Objective is the objective value c'X.
+	Objective float64
+	// Iterations is the total number of pivots performed.
+	Iterations int
+}
+
+// Common solver errors.
+var (
+	ErrDimension = errors.New("lp: constraint width does not match objective length")
+	ErrEmpty     = errors.New("lp: problem has no variables")
+)
+
+// eps is the numerical tolerance used for pivoting and feasibility tests.
+const eps = 1e-9
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.Constraints) }
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.Objective)
+	if n == 0 {
+		return ErrEmpty
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("%w: row %d has %d coefficients, want %d",
+				ErrDimension, i, len(c.Coeffs), n)
+		}
+		if c.Op != LE && c.Op != GE && c.Op != EQ {
+			return fmt.Errorf("lp: row %d has invalid operator %d", i, int(c.Op))
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: row %d has non-finite RHS %v", i, c.RHS)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: row %d column %d has non-finite coefficient %v", i, j, v)
+			}
+		}
+	}
+	for j, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: objective column %d has non-finite coefficient %v", j, v)
+		}
+	}
+	return nil
+}
+
+// String renders the problem in a compact algebraic form, useful in test
+// failure messages.
+func (p *Problem) String() string {
+	var b strings.Builder
+	b.WriteString("max ")
+	writeLinear(&b, p.Objective)
+	for _, c := range p.Constraints {
+		b.WriteString("\n  ")
+		writeLinear(&b, c.Coeffs)
+		fmt.Fprintf(&b, " %s %g", c.Op, c.RHS)
+	}
+	return b.String()
+}
+
+func writeLinear(b *strings.Builder, coeffs []float64) {
+	first := true
+	for j, v := range coeffs {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			if v >= 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+				v = -v
+			}
+		}
+		fmt.Fprintf(b, "%g*x%d", v, j)
+		first = false
+	}
+	if first {
+		b.WriteString("0")
+	}
+}
+
+// Feasible reports whether x satisfies every constraint of p (and x ≥ 0)
+// within tolerance tol. It is primarily used by tests and by callers that
+// want to sanity-check a solution before acting on it.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if len(x) != len(p.Objective) {
+		return false
+	}
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		lhs := dot(c.Coeffs, x)
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Value evaluates the objective at x.
+func (p *Problem) Value(x []float64) float64 { return dot(p.Objective, x) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

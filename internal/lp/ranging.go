@@ -1,0 +1,85 @@
+package lp
+
+import "math"
+
+// RangeRHS reports, for one inequality constraint, how far its right-hand
+// side can move in each direction before the current optimal basis stops
+// being feasible — the classic RHS ranging of sensitivity analysis.
+// Within the returned interval [lo, hi] (absolute RHS values, not deltas)
+// the set of basic variables — and therefore the *structure* of the
+// optimal solution and all dual values — is unchanged; the solution
+// values themselves vary linearly.
+//
+// REAP uses this on the energy constraint: as long as the next hour's
+// budget stays inside the range, the optimal design-point mix only
+// rescales, so the controller can update the allocation by closed form
+// instead of re-running the simplex.
+//
+// The function solves the problem internally (it needs the optimal
+// tableau). Equality rows and non-optimal outcomes return ok=false.
+func RangeRHS(p *Problem, row int) (lo, hi float64, ok bool) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, false
+	}
+	if row < 0 || row >= len(p.Constraints) || p.Constraints[row].Op == EQ {
+		return 0, 0, false
+	}
+	n := p.NumVars()
+	m := p.NumConstraints()
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100 * (n + m + 10)
+	}
+
+	t, meta, nArt := buildWithMeta(p)
+	iters := 0
+	if nArt > 0 {
+		st, it := t.iterate(maxIter)
+		iters += it
+		if st != Optimal || t.rows[t.m][t.total] > 1e-7 {
+			return 0, 0, false
+		}
+		t.dropArtificials(nArt)
+		t.setObjective(p.Objective)
+	}
+	if st, _ := t.iterate(maxIter - iters); st != Optimal {
+		return 0, 0, false
+	}
+
+	// The slack column of the target row holds B⁻¹·eᵣ (up to the surplus
+	// sign): perturbing the normalized RHS by Δ moves each basic value
+	// b_i by Δ·col_i. Feasibility requires b_i + Δ·col_i ≥ 0 for every
+	// structural row.
+	col := meta[row].slackCol
+	sign := 1.0
+	if meta[row].surplus {
+		sign = -1 // surplus column carries -e_r
+	}
+	loD, hiD := math.Inf(-1), math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < 0 {
+			continue // redundant row cleared during phase 1
+		}
+		c := sign * t.rows[i][col]
+		b := t.rows[i][t.total]
+		switch {
+		case c > eps:
+			// b + Δ·c ≥ 0 → Δ ≥ -b/c.
+			if d := -b / c; d > loD {
+				loD = d
+			}
+		case c < -eps:
+			// Δ ≤ b/(-c).
+			if d := b / -c; d < hiD {
+				hiD = d
+			}
+		}
+	}
+	// Translate deltas on the NORMALIZED row back to the original RHS
+	// orientation (a flipped row negates the delta direction).
+	rhs := p.Constraints[row].RHS
+	if meta[row].flip < 0 {
+		loD, hiD = -hiD, -loD
+	}
+	return rhs + loD, rhs + hiD, true
+}

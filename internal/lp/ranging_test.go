@@ -1,0 +1,159 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRangeRHSSimple(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6. Optimum x=4 (first row
+	// binding, second slack by 2). The binding row's RHS can grow until
+	// the second constraint binds (x = 6 → RHS 6) and shrink to 0
+	// (x ≥ 0): range [0, 6].
+	p := &Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Op: LE, RHS: 6},
+		},
+	}
+	lo, hi, ok := RangeRHS(p, 0)
+	if !ok {
+		t.Fatal("ranging failed")
+	}
+	if math.Abs(lo-0) > 1e-7 || math.Abs(hi-6) > 1e-7 {
+		t.Fatalf("range [%v, %v], want [0, 6]", lo, hi)
+	}
+	// The slack row: reducing its RHS below 4 (the used amount) breaks
+	// the basis; increasing it never does.
+	lo2, hi2, ok := RangeRHS(p, 1)
+	if !ok {
+		t.Fatal("ranging failed on slack row")
+	}
+	if math.Abs(lo2-4) > 1e-7 {
+		t.Fatalf("slack row lower bound %v, want 4", lo2)
+	}
+	if !math.IsInf(hi2, 1) {
+		t.Fatalf("slack row upper bound %v, want +inf", hi2)
+	}
+}
+
+func TestRangeRHSValidation(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: EQ, RHS: 1},
+			{Coeffs: []float64{1}, Op: LE, RHS: 2},
+		},
+	}
+	if _, _, ok := RangeRHS(p, 0); ok {
+		t.Error("equality row accepted")
+	}
+	if _, _, ok := RangeRHS(p, -1); ok {
+		t.Error("negative row accepted")
+	}
+	if _, _, ok := RangeRHS(p, 5); ok {
+		t.Error("out-of-range row accepted")
+	}
+	bad := &Problem{}
+	if _, _, ok := RangeRHS(bad, 0); ok {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestRangeRHSBasisInvariance(t *testing.T) {
+	// Property: inside the reported range the optimal support (set of
+	// positive variables) is unchanged; just outside it changes or the
+	// objective slope changes.
+	p := &Problem{
+		Objective: []float64{0.94, 0.9, 0.76, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1, 1}, Op: EQ, RHS: 3600},
+			{Coeffs: []float64{2.76e-3, 1.64e-3, 1.2e-3, 5e-5}, Op: LE, RHS: 5},
+		},
+	}
+	support := func(rhs float64) map[int]bool {
+		q := &Problem{Objective: p.Objective}
+		q.Constraints = append(q.Constraints, p.Constraints[0])
+		q.Constraints = append(q.Constraints, Constraint{
+			Coeffs: p.Constraints[1].Coeffs, Op: LE, RHS: rhs,
+		})
+		sol, err := Solve(q)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("solve at rhs %v failed", rhs)
+		}
+		s := make(map[int]bool)
+		for j, v := range sol.X {
+			if v > 1e-6 {
+				s[j] = true
+			}
+		}
+		return s
+	}
+	lo, hi, ok := RangeRHS(p, 1)
+	if !ok {
+		t.Fatal("ranging failed")
+	}
+	if lo >= 5 || hi <= 5 {
+		t.Fatalf("range [%v, %v] does not contain the nominal RHS 5", lo, hi)
+	}
+	base := support(5)
+	for _, rhs := range []float64{lo + 1e-4, (lo + hi) / 2, hi - 1e-4} {
+		s := support(rhs)
+		if len(s) != len(base) {
+			t.Fatalf("support changed inside range at rhs %v: %v vs %v", rhs, s, base)
+		}
+		for j := range base {
+			if !s[j] {
+				t.Fatalf("support changed inside range at rhs %v: %v vs %v", rhs, s, base)
+			}
+		}
+	}
+	// Outside the range the support must differ (step to another mix).
+	outside := support(hi + 0.3)
+	same := len(outside) == len(base)
+	if same {
+		for j := range base {
+			if !outside[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatalf("support unchanged beyond the range: %v", outside)
+	}
+}
+
+func TestRangeRHSFlippedRow(t *testing.T) {
+	// x >= 1 entered as -x <= -1, maximize -x (minimize x): optimum x=1.
+	// The original RHS b=-1 (i.e. x >= -b): tightening below... the basis
+	// stays optimal for b in (-inf, 0]: at b=0 the constraint becomes
+	// x >= 0 which merges with non-negativity.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -1},
+		},
+	}
+	lo, hi, ok := RangeRHS(p, 0)
+	if !ok {
+		t.Fatal("ranging failed")
+	}
+	if !math.IsInf(lo, -1) {
+		t.Fatalf("lower bound %v, want -inf (any tighter floor keeps the basis)", lo)
+	}
+	if hi < -1e-9 || hi > 1e-6 {
+		t.Fatalf("upper bound %v, want ~0", hi)
+	}
+	// Spot-check: at RHS -0.5 the optimum is x=0.5 with the same basis.
+	q := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -0.5},
+		},
+	}
+	sol, err := Solve(q)
+	if err != nil || sol.Status != Optimal || math.Abs(sol.X[0]-0.5) > 1e-9 {
+		t.Fatalf("interior solve: %v %v", sol, err)
+	}
+}

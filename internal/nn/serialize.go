@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNetwork is the serialized form of a Network.
+type jsonNetwork struct {
+	Layers []jsonLayer `json:"layers"`
+}
+
+type jsonLayer struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	Act int       `json:"act"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// MarshalJSON serializes the network, weights included, so a trained
+// classifier can be stored with its design point.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	out := jsonNetwork{}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, jsonLayer{
+			In: l.In, Out: l.Out, Act: int(l.Act), W: l.W, B: l.B,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a network serialized with MarshalJSON, validating
+// layer shapes.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in jsonNetwork
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Layers) == 0 {
+		return fmt.Errorf("nn: serialized network has no layers")
+	}
+	var layers []*Layer
+	for i, jl := range in.Layers {
+		if jl.In <= 0 || jl.Out <= 0 {
+			return fmt.Errorf("%w: layer %d has size %dx%d", ErrShape, i, jl.In, jl.Out)
+		}
+		if len(jl.W) != jl.In*jl.Out || len(jl.B) != jl.Out {
+			return fmt.Errorf("%w: layer %d weight/bias lengths %d/%d do not match %dx%d",
+				ErrShape, i, len(jl.W), len(jl.B), jl.In, jl.Out)
+		}
+		if i > 0 && layers[i-1].Out != jl.In {
+			return fmt.Errorf("%w: layer %d input %d does not match previous output %d",
+				ErrShape, i, jl.In, layers[i-1].Out)
+		}
+		layers = append(layers, &Layer{
+			In: jl.In, Out: jl.Out, Act: Activation(jl.Act),
+			W: append([]float64(nil), jl.W...),
+			B: append([]float64(nil), jl.B...),
+		})
+	}
+	n.Layers = layers
+	return nil
+}

@@ -1,0 +1,105 @@
+package solar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Allocator turns a harvesting forecast into per-period energy budgets.
+// The paper cites Kansal et al. and Bhat et al. for this layer ("Energy
+// budget Eb ... is determined by energy allocation techniques using the
+// expected amount of harvested energy and battery capacity") — REAP itself
+// is agnostic to how the budget is produced.
+type Allocator interface {
+	// Budgets maps an hourly harvest trace onto hourly energy budgets of
+	// the same length.
+	Budgets(harvest []float64) []float64
+}
+
+// GreedyAllocator spends each hour exactly what it harvests: the
+// battery-less class of harvesting devices.
+type GreedyAllocator struct{}
+
+// Budgets implements Allocator.
+func (GreedyAllocator) Budgets(harvest []float64) []float64 {
+	return append([]float64(nil), harvest...)
+}
+
+// BatteryAllocator smooths harvest through a finite battery: each hour's
+// budget is the harvest plus a bounded draw from (or charge into) the
+// battery, targeting equal spending across a sliding horizon. This is the
+// linear-programming duty-cycle idea of Kansal et al. reduced to a rolling
+// average, which keeps it deterministic and O(n).
+type BatteryAllocator struct {
+	// CapacityJ is the battery capacity in joules.
+	CapacityJ float64
+	// InitialJ is the starting charge.
+	InitialJ float64
+	// HorizonHours is the smoothing window (e.g. 24 for day-scale
+	// smoothing).
+	HorizonHours int
+	// Efficiency is the round-trip storage efficiency applied to energy
+	// that passes through the battery.
+	Efficiency float64
+}
+
+// DefaultBatteryAllocator returns a day-smoothing allocator with a small
+// wearable-scale battery (200 J ≈ 15 mAh at 3.7 V is far more than REAP
+// needs; the paper's prototype uses a small backup cell).
+func DefaultBatteryAllocator() BatteryAllocator {
+	return BatteryAllocator{CapacityJ: 200, InitialJ: 50, HorizonHours: 24, Efficiency: 0.9}
+}
+
+// Validate checks the allocator parameters.
+func (b BatteryAllocator) Validate() error {
+	if b.CapacityJ <= 0 || b.InitialJ < 0 || b.InitialJ > b.CapacityJ {
+		return fmt.Errorf("solar: battery state %v/%v invalid", b.InitialJ, b.CapacityJ)
+	}
+	if b.HorizonHours <= 0 {
+		return fmt.Errorf("solar: horizon %d must be positive", b.HorizonHours)
+	}
+	if b.Efficiency <= 0 || b.Efficiency > 1 || math.IsNaN(b.Efficiency) {
+		return fmt.Errorf("solar: efficiency %v outside (0,1]", b.Efficiency)
+	}
+	return nil
+}
+
+// Budgets implements Allocator. The budget for hour t is
+// min(available, mean harvest over the trailing horizon), where available
+// is this hour's harvest plus the battery charge; the remainder charges
+// the battery at the round-trip efficiency.
+func (b BatteryAllocator) Budgets(harvest []float64) []float64 {
+	if err := b.Validate(); err != nil {
+		// An allocator misconfiguration is a programming error; fall back
+		// to greedy rather than return nil budgets.
+		return GreedyAllocator{}.Budgets(harvest)
+	}
+	out := make([]float64, len(harvest))
+	battery := b.InitialJ
+	var window []float64
+	var windowSum float64
+	for t, h := range harvest {
+		window = append(window, h)
+		windowSum += h
+		if len(window) > b.HorizonHours {
+			windowSum -= window[0]
+			window = window[1:]
+		}
+		target := windowSum / float64(len(window))
+		available := h + battery
+		budget := math.Min(target, available)
+		if budget < 0 {
+			budget = 0
+		}
+		out[t] = budget
+		// Settle the battery: surplus charges with loss, deficit drains.
+		delta := h - budget
+		if delta >= 0 {
+			battery += delta * b.Efficiency
+		} else {
+			battery += delta
+		}
+		battery = clamp(battery, 0, b.CapacityJ)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package solar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell models the flexible photovoltaic cell and its harvesting circuit.
+// Defaults approximate the FlexSolarCells SP3-37 module on the paper's
+// prototype, derated by a wearing-exposure factor: a wearable's cell is
+// rarely normal to the sun and spends much of the day shaded by clothing
+// and buildings. The exposure default is calibrated so September hourly
+// budgets in Golden span the paper's evaluation range (≈0.2–10 J).
+type Cell struct {
+	// AreaM2 is the active cell area in m² (SP3-37: 37 mm x 64 mm).
+	AreaM2 float64
+	// Efficiency is the photovoltaic conversion efficiency.
+	Efficiency float64
+	// HarvesterEfficiency is the boost-converter/MPPT chain efficiency.
+	HarvesterEfficiency float64
+	// Exposure derates irradiance for body shading and orientation.
+	Exposure float64
+}
+
+// DefaultCell returns the calibrated SP3-37-like harvesting chain.
+func DefaultCell() Cell {
+	return Cell{
+		AreaM2:              0.037 * 0.064,
+		Efficiency:          0.06,
+		HarvesterEfficiency: 0.70,
+		Exposure:            0.035,
+	}
+}
+
+// Validate checks the cell parameters.
+func (c Cell) Validate() error {
+	if c.AreaM2 <= 0 || math.IsNaN(c.AreaM2) {
+		return fmt.Errorf("solar: cell area %v must be positive", c.AreaM2)
+	}
+	for name, v := range map[string]float64{
+		"efficiency":           c.Efficiency,
+		"harvester efficiency": c.HarvesterEfficiency,
+		"exposure":             c.Exposure,
+	} {
+		if v <= 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("solar: %s %v outside (0,1]", name, v)
+		}
+	}
+	return nil
+}
+
+// Power returns the harvested electrical power in watts for an incident
+// irradiance in W/m².
+func (c Cell) Power(ghi float64) float64 {
+	if ghi <= 0 {
+		return 0
+	}
+	return ghi * c.AreaM2 * c.Efficiency * c.HarvesterEfficiency * c.Exposure
+}
+
+// HourEnergy returns the energy in joules harvested over one hour at the
+// given average irradiance.
+func (c Cell) HourEnergy(ghi float64) float64 { return c.Power(ghi) * 3600 }

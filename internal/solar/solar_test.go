@@ -1,0 +1,309 @@
+package solar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolarElevationBasics(t *testing.T) {
+	// Solar noon on the June solstice at Golden: elevation ≈ 90 - lat +
+	// 23.45 ≈ 73.7 degrees.
+	el := SolarElevation(GoldenLatitudeDeg, dayOfYear(6, 21), 12)
+	if deg := el * 180 / math.Pi; math.Abs(deg-73.7) > 1.5 {
+		t.Errorf("solstice noon elevation %.1f deg, want ~73.7", deg)
+	}
+	// Midnight: far below horizon.
+	if el := SolarElevation(GoldenLatitudeDeg, 100, 0); el >= 0 {
+		t.Errorf("midnight elevation %v, want negative", el)
+	}
+	// December noon lower than June noon.
+	dec := SolarElevation(GoldenLatitudeDeg, dayOfYear(12, 21), 12)
+	jun := SolarElevation(GoldenLatitudeDeg, dayOfYear(6, 21), 12)
+	if dec >= jun {
+		t.Errorf("December noon %v not below June noon %v", dec, jun)
+	}
+}
+
+func TestClearSkyGHI(t *testing.T) {
+	if ghi := ClearSkyGHI(-0.1); ghi != 0 {
+		t.Errorf("below-horizon GHI %v, want 0", ghi)
+	}
+	// Vertical sun: close to the Haurwitz maximum.
+	if ghi := ClearSkyGHI(math.Pi / 2); ghi < 1000 || ghi > 1098 {
+		t.Errorf("zenith GHI %v outside [1000, 1098]", ghi)
+	}
+	// Monotone in elevation.
+	prev := -1.0
+	for el := 0.05; el < math.Pi/2; el += 0.05 {
+		g := ClearSkyGHI(el)
+		if g <= prev {
+			t.Fatalf("GHI not increasing at elevation %v", el)
+		}
+		prev = g
+	}
+}
+
+func TestDayNightCycle(t *testing.T) {
+	// September 15th in Golden: dark at 3:00, bright at 12:30.
+	if g := ClearSkyGHIAt(9, 15, 3); g != 0 {
+		t.Errorf("3am GHI %v, want 0", g)
+	}
+	noon := ClearSkyGHIAt(9, 15, 12.5)
+	if noon < 500 || noon > 1000 {
+		t.Errorf("September noon GHI %v outside plausible range", noon)
+	}
+	morning := ClearSkyGHIAt(9, 15, 8)
+	if morning <= 0 || morning >= noon {
+		t.Errorf("8am GHI %v not between 0 and noon %v", morning, noon)
+	}
+}
+
+func TestDaysInMonth(t *testing.T) {
+	if DaysInMonth(9) != 30 || DaysInMonth(2) != 28 || DaysInMonth(12) != 31 {
+		t.Fatal("month lengths wrong")
+	}
+	if DaysInMonth(0) != 0 || DaysInMonth(13) != 0 {
+		t.Fatal("invalid months should return 0")
+	}
+}
+
+func TestWeatherMarkovChain(t *testing.T) {
+	w := NewWeather(42)
+	counts := map[Sky]int{}
+	for i := 0; i < 5000; i++ {
+		s, att := w.Step()
+		counts[s]++
+		if att <= 0 || att > 1 {
+			t.Fatalf("attenuation %v outside (0,1]", att)
+		}
+		switch s {
+		case Clear:
+			if att < 0.92 {
+				t.Fatalf("clear attenuation %v below 0.92", att)
+			}
+		case Overcast:
+			if att > 0.33 {
+				t.Fatalf("overcast attenuation %v above 0.33", att)
+			}
+		}
+	}
+	// Clear must dominate (Golden averages ~245 sunny days).
+	if counts[Clear] <= counts[Overcast] {
+		t.Errorf("clear hours %d not above overcast %d", counts[Clear], counts[Overcast])
+	}
+	for _, s := range []Sky{Clear, Partly, Overcast, Sky(9)} {
+		if s.String() == "" {
+			t.Fatal("empty sky name")
+		}
+	}
+}
+
+func TestWeatherDeterministic(t *testing.T) {
+	a, b := NewWeather(7), NewWeather(7)
+	for i := 0; i < 100; i++ {
+		sa, aa := a.Step()
+		sb, ab := b.Step()
+		if sa != sb || aa != ab {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.State() != b.State() {
+		t.Fatal("states diverged")
+	}
+}
+
+func TestCellValidation(t *testing.T) {
+	if err := DefaultCell().Validate(); err != nil {
+		t.Fatalf("default cell invalid: %v", err)
+	}
+	bad := []Cell{
+		{AreaM2: 0, Efficiency: 0.1, HarvesterEfficiency: 0.7, Exposure: 0.05},
+		{AreaM2: 1e-3, Efficiency: 0, HarvesterEfficiency: 0.7, Exposure: 0.05},
+		{AreaM2: 1e-3, Efficiency: 0.1, HarvesterEfficiency: 1.5, Exposure: 0.05},
+		{AreaM2: 1e-3, Efficiency: 0.1, HarvesterEfficiency: 0.7, Exposure: 0},
+		{AreaM2: math.NaN(), Efficiency: 0.1, HarvesterEfficiency: 0.7, Exposure: 0.05},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid cell accepted", i)
+		}
+	}
+	if p := DefaultCell().Power(-10); p != 0 {
+		t.Errorf("negative irradiance power %v, want 0", p)
+	}
+}
+
+func TestTraceCalibration(t *testing.T) {
+	// The September trace must span the paper's evaluation range: peak
+	// hours near DP1 saturation (9.9 J) but not wildly beyond, plenty of
+	// hours in Regions 1 and 2, and zero harvest at night.
+	tr, err := September2015()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Hours) != 30*24 {
+		t.Fatalf("trace has %d hours, want 720", len(tr.Hours))
+	}
+	peak := tr.Peak()
+	if peak < 6 || peak > 16 {
+		t.Errorf("peak hourly harvest %v J outside [6, 16]", peak)
+	}
+	mid := 0
+	for _, v := range tr.Hours {
+		if v >= 1 && v <= 9.9 {
+			mid++
+		}
+	}
+	if mid < 150 {
+		t.Errorf("only %d hours fall in the interesting 1–9.9 J band", mid)
+	}
+	// Night hours harvest nothing.
+	for d := 1; d <= 30; d++ {
+		day, err := tr.Day(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if day[2] != 0 || day[23] != 0 {
+			t.Fatalf("day %d harvests at night: %v / %v", d, day[2], day[23])
+		}
+	}
+	mean, std := tr.Stats()
+	if mean <= 0 || std <= 0 {
+		t.Errorf("degenerate stats mean=%v std=%v", mean, std)
+	}
+	if tr.Total() <= 0 || tr.DaylightHours(0.18) < 300 {
+		t.Errorf("total %v, daylight hours %d", tr.Total(), tr.DaylightHours(0.18))
+	}
+}
+
+func TestTraceDeterminismAndSeasons(t *testing.T) {
+	a, err := MonthlyTrace(9, 2015, DefaultCell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonthlyTrace(9, 2015, DefaultCell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Hours {
+		if a.Hours[i] != b.Hours[i] {
+			t.Fatal("same month/year diverged")
+		}
+	}
+	dec, err := MonthlyTrace(12, 2015, DefaultCell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jun, err := MonthlyTrace(6, 2015, DefaultCell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Total() >= jun.Total() {
+		t.Errorf("December total %v not below June total %v", dec.Total(), jun.Total())
+	}
+	if _, err := MonthlyTrace(0, 2015, DefaultCell()); err == nil {
+		t.Error("month 0 accepted")
+	}
+	if _, err := MonthlyTrace(9, 2015, Cell{}); err == nil {
+		t.Error("zero cell accepted")
+	}
+	if _, err := a.Day(0); err == nil {
+		t.Error("day 0 accepted")
+	}
+	if _, err := a.Day(31); err == nil {
+		t.Error("day 31 accepted for September")
+	}
+}
+
+func TestGreedyAllocator(t *testing.T) {
+	h := []float64{0, 1, 5, 2}
+	b := GreedyAllocator{}.Budgets(h)
+	for i := range h {
+		if b[i] != h[i] {
+			t.Fatalf("greedy budgets %v != harvest %v", b, h)
+		}
+	}
+	b[0] = 99
+	if h[0] == 99 {
+		t.Fatal("greedy must copy, not alias")
+	}
+}
+
+func TestBatteryAllocatorSmooths(t *testing.T) {
+	// A harsh day/night square wave must come out smoother: night budgets
+	// above zero (battery draw), day budgets below raw harvest.
+	var harvest []float64
+	for d := 0; d < 5; d++ {
+		for h := 0; h < 24; h++ {
+			if h >= 8 && h < 16 {
+				harvest = append(harvest, 6)
+			} else {
+				harvest = append(harvest, 0)
+			}
+		}
+	}
+	alloc := DefaultBatteryAllocator()
+	budgets := alloc.Budgets(harvest)
+	if len(budgets) != len(harvest) {
+		t.Fatal("length mismatch")
+	}
+	// After the first day the battery has charge: some night budget > 0.
+	nightBudget := 0.0
+	for i := 30; i < len(budgets); i++ {
+		if harvest[i] == 0 {
+			nightBudget += budgets[i]
+		}
+	}
+	if nightBudget <= 0 {
+		t.Error("battery allocator never spends at night")
+	}
+	// Energy conservation: total budgets cannot exceed initial charge +
+	// total harvest.
+	var spent, harvested float64
+	for i := range budgets {
+		spent += budgets[i]
+		harvested += harvest[i]
+	}
+	if spent > harvested+alloc.InitialJ+1e-6 {
+		t.Errorf("allocator spends %v but only %v is available", spent, harvested+alloc.InitialJ)
+	}
+	// Variance must shrink.
+	if varOf(budgets) >= varOf(harvest) {
+		t.Errorf("budgets variance %v not below harvest variance %v", varOf(budgets), varOf(harvest))
+	}
+}
+
+func varOf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	var s float64
+	for _, v := range x {
+		s += (v - m) * (v - m)
+	}
+	return s / float64(len(x))
+}
+
+func TestBatteryAllocatorValidation(t *testing.T) {
+	bad := []BatteryAllocator{
+		{CapacityJ: 0, HorizonHours: 24, Efficiency: 0.9},
+		{CapacityJ: 10, InitialJ: 20, HorizonHours: 24, Efficiency: 0.9},
+		{CapacityJ: 10, HorizonHours: 0, Efficiency: 0.9},
+		{CapacityJ: 10, HorizonHours: 24, Efficiency: 1.5},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid allocator accepted", i)
+		}
+		// Budgets falls back to greedy rather than failing.
+		h := []float64{1, 2, 3}
+		out := b.Budgets(h)
+		for j := range h {
+			if out[j] != h[j] {
+				t.Errorf("case %d: fallback not greedy", i)
+			}
+		}
+	}
+}

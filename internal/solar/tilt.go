@@ -1,0 +1,115 @@
+package solar
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolarAzimuth returns the sun's azimuth in radians (0 = north, π/2 =
+// east, π = south) for the given site latitude, day of year and local
+// solar hour. Used together with SolarElevation to evaluate tilted
+// panels.
+func SolarAzimuth(latitudeDeg float64, doy int, hour float64) float64 {
+	lat := latitudeDeg * math.Pi / 180
+	decl := 23.45 * math.Pi / 180 * math.Sin(2*math.Pi*float64(284+doy)/365)
+	h := (hour - 12) * 15 * math.Pi / 180
+	el := SolarElevation(latitudeDeg, doy, hour)
+	cosAz := (math.Sin(decl) - math.Sin(el)*math.Sin(lat)) /
+		(math.Cos(el) * math.Cos(lat))
+	az := math.Acos(clamp(cosAz, -1, 1))
+	// Morning sun is east of south.
+	if h > 0 {
+		az = 2*math.Pi - az
+	}
+	return az
+}
+
+// Panel orients a cell: Tilt is the angle from horizontal in degrees,
+// Azimuth the direction the panel faces (degrees, 180 = due south).
+type Panel struct {
+	TiltDeg    float64
+	AzimuthDeg float64
+	// Albedo is the ground reflectance feeding the ground-reflected
+	// component (0.2 is the standard grass/concrete value).
+	Albedo float64
+}
+
+// Validate checks the panel geometry.
+func (p Panel) Validate() error {
+	if p.TiltDeg < 0 || p.TiltDeg > 90 || math.IsNaN(p.TiltDeg) {
+		return fmt.Errorf("solar: tilt %v outside 0..90", p.TiltDeg)
+	}
+	if p.AzimuthDeg < 0 || p.AzimuthDeg >= 360 || math.IsNaN(p.AzimuthDeg) {
+		return fmt.Errorf("solar: azimuth %v outside [0,360)", p.AzimuthDeg)
+	}
+	if p.Albedo < 0 || p.Albedo > 1 {
+		return fmt.Errorf("solar: albedo %v outside [0,1]", p.Albedo)
+	}
+	return nil
+}
+
+// POA converts global horizontal irradiance to plane-of-array irradiance
+// with the isotropic-sky model: beam projected by the incidence angle,
+// diffuse scaled by the sky-view factor, plus a ground-reflected term.
+// diffuseFraction is the share of ghi that is diffuse (clear sky ~0.15,
+// overcast ~1.0).
+func (p Panel) POA(ghi, elevation, sunAzimuth, diffuseFraction float64) float64 {
+	if ghi <= 0 || elevation <= 0 {
+		return 0
+	}
+	diffuseFraction = clamp(diffuseFraction, 0, 1)
+	tilt := p.TiltDeg * math.Pi / 180
+	panelAz := p.AzimuthDeg * math.Pi / 180
+
+	dhi := ghi * diffuseFraction
+	bhi := ghi - dhi // beam on horizontal
+	// Incidence angle on the panel.
+	cosInc := math.Sin(elevation)*math.Cos(tilt) +
+		math.Cos(elevation)*math.Sin(tilt)*math.Cos(sunAzimuth-panelAz)
+	if cosInc < 0 {
+		cosInc = 0 // sun behind the panel
+	}
+	beam := 0.0
+	if s := math.Sin(elevation); s > 0.02 { // avoid horizon blow-up
+		beam = bhi / s * cosInc
+	}
+	diffuse := dhi * (1 + math.Cos(tilt)) / 2
+	reflected := ghi * p.Albedo * (1 - math.Cos(tilt)) / 2
+	return beam + diffuse + reflected
+}
+
+// diffuseFractionFor maps the weather attenuation factor to a diffuse
+// share: clear hours are beam-dominated, overcast hours fully diffuse.
+func diffuseFractionFor(attenuation float64) float64 {
+	return clamp(1.15-attenuation, 0.15, 1)
+}
+
+// TiltedMonthlyTrace is MonthlyTrace for a tilted panel: the same weather
+// realization as the horizontal trace for (month, year), with each hour's
+// irradiance transposed to the panel plane before the cell model.
+func TiltedMonthlyTrace(month, year int, cell Cell, panel Panel) (*Trace, error) {
+	if err := validateMonth(month); err != nil {
+		return nil, err
+	}
+	if err := cell.Validate(); err != nil {
+		return nil, err
+	}
+	if err := panel.Validate(); err != nil {
+		return nil, err
+	}
+	w := NewWeather(int64(year)*100 + int64(month))
+	tr := &Trace{Month: month, Year: year}
+	for day := 1; day <= DaysInMonth(month); day++ {
+		doy := dayOfYear(month, day)
+		for hour := 0; hour < 24; hour++ {
+			_, att := w.Step()
+			t := float64(hour) + 0.5
+			el := SolarElevation(GoldenLatitudeDeg, doy, t)
+			ghi := ClearSkyGHI(el) * att
+			poa := panel.POA(ghi, el, SolarAzimuth(GoldenLatitudeDeg, doy, t), diffuseFractionFor(att))
+			tr.Hours = append(tr.Hours, cell.HourEnergy(poa))
+			tr.Skies = append(tr.Skies, w.State())
+		}
+	}
+	return tr, nil
+}

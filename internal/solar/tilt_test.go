@@ -1,0 +1,145 @@
+package solar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolarAzimuthBasics(t *testing.T) {
+	doy := dayOfYear(9, 15)
+	// Solar noon: due south (π) in the northern hemisphere.
+	if az := SolarAzimuth(GoldenLatitudeDeg, doy, 12); math.Abs(az-math.Pi) > 0.05 {
+		t.Errorf("noon azimuth %v rad, want ~pi", az)
+	}
+	// Morning: east of south; afternoon: west of south.
+	am := SolarAzimuth(GoldenLatitudeDeg, doy, 8)
+	pm := SolarAzimuth(GoldenLatitudeDeg, doy, 16)
+	if am >= math.Pi {
+		t.Errorf("8am azimuth %v, want east of south (< pi)", am)
+	}
+	if pm <= math.Pi {
+		t.Errorf("4pm azimuth %v, want west of south (> pi)", pm)
+	}
+}
+
+func TestPanelValidation(t *testing.T) {
+	bad := []Panel{
+		{TiltDeg: -1},
+		{TiltDeg: 91},
+		{TiltDeg: 30, AzimuthDeg: 360},
+		{TiltDeg: 30, AzimuthDeg: -1},
+		{TiltDeg: 30, AzimuthDeg: 180, Albedo: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := Panel{TiltDeg: 40, AzimuthDeg: 180, Albedo: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid panel rejected: %v", err)
+	}
+}
+
+func TestPOAHorizontalIsIdentity(t *testing.T) {
+	// Zero tilt: POA must equal GHI regardless of azimuth (no reflected
+	// term, full sky view, beam factor cosInc/sin(el) = 1).
+	flat := Panel{TiltDeg: 0, AzimuthDeg: 180, Albedo: 0.2}
+	doy := dayOfYear(6, 21)
+	for _, hour := range []float64{9, 12, 15} {
+		el := SolarElevation(GoldenLatitudeDeg, doy, hour)
+		az := SolarAzimuth(GoldenLatitudeDeg, doy, hour)
+		ghi := ClearSkyGHI(el)
+		poa := flat.POA(ghi, el, az, 0.2)
+		if math.Abs(poa-ghi) > 1e-9*ghi {
+			t.Errorf("hour %v: flat POA %v != GHI %v", hour, poa, ghi)
+		}
+	}
+}
+
+func TestPOAWinterTiltGain(t *testing.T) {
+	// December noon at 40°N: the sun sits ~27° high; a south-facing 40°
+	// tilt points much closer to it and must collect substantially more
+	// than the horizontal on a clear day.
+	tilted := Panel{TiltDeg: 40, AzimuthDeg: 180, Albedo: 0.2}
+	doy := dayOfYear(12, 21)
+	el := SolarElevation(GoldenLatitudeDeg, doy, 12)
+	az := SolarAzimuth(GoldenLatitudeDeg, doy, 12)
+	ghi := ClearSkyGHI(el)
+	poa := tilted.POA(ghi, el, az, 0.15)
+	if poa < ghi*1.3 {
+		t.Errorf("winter noon POA %v not >= 1.3x GHI %v", poa, ghi)
+	}
+	// June noon: the high sun favours the horizontal; the tilt gain must
+	// be small or negative.
+	doy = dayOfYear(6, 21)
+	el = SolarElevation(GoldenLatitudeDeg, doy, 12)
+	az = SolarAzimuth(GoldenLatitudeDeg, doy, 12)
+	ghi = ClearSkyGHI(el)
+	poa = tilted.POA(ghi, el, az, 0.15)
+	if poa > ghi*1.1 {
+		t.Errorf("summer noon POA %v suspiciously above GHI %v", poa, ghi)
+	}
+}
+
+func TestPOASunBehindPanel(t *testing.T) {
+	// A vertical north-facing panel sees no beam at noon, only diffuse +
+	// reflected.
+	north := Panel{TiltDeg: 90, AzimuthDeg: 0, Albedo: 0.2}
+	doy := dayOfYear(6, 21)
+	el := SolarElevation(GoldenLatitudeDeg, doy, 12)
+	az := SolarAzimuth(GoldenLatitudeDeg, doy, 12)
+	ghi := ClearSkyGHI(el)
+	const fd = 0.2
+	poa := north.POA(ghi, el, az, fd)
+	expected := ghi*fd*0.5 + ghi*0.2*0.5 // half sky view + half ground view
+	if math.Abs(poa-expected) > 1e-9*ghi {
+		t.Errorf("north wall POA %v, want diffuse+reflected only %v", poa, expected)
+	}
+	// Night: zero.
+	if north.POA(100, -0.1, az, fd) != 0 {
+		t.Error("POA below the horizon")
+	}
+	if north.POA(0, el, az, fd) != 0 {
+		t.Error("POA with zero GHI")
+	}
+}
+
+func TestTiltedMonthlyTrace(t *testing.T) {
+	cell := DefaultCell()
+	flatPanel := Panel{TiltDeg: 0, AzimuthDeg: 180, Albedo: 0.2}
+	tilted := Panel{TiltDeg: 40, AzimuthDeg: 180, Albedo: 0.2}
+
+	flat, err := TiltedMonthlyTrace(12, 2015, cell, flatPanel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := TiltedMonthlyTrace(12, 2015, cell, tilted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// December: tilt wins clearly on monthly total.
+	if tl.Total() <= flat.Total()*1.15 {
+		t.Errorf("December tilted total %v not >= 1.15x flat %v", tl.Total(), flat.Total())
+	}
+	// Same weather realization as the horizontal MonthlyTrace.
+	base, err := MonthlyTrace(12, 2015, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Skies {
+		if base.Skies[i] != flat.Skies[i] {
+			t.Fatal("weather realization differs between trace kinds")
+		}
+	}
+	// Validation paths.
+	if _, err := TiltedMonthlyTrace(0, 2015, cell, tilted); err == nil {
+		t.Error("month 0 accepted")
+	}
+	if _, err := TiltedMonthlyTrace(12, 2015, Cell{}, tilted); err == nil {
+		t.Error("invalid cell accepted")
+	}
+	if _, err := TiltedMonthlyTrace(12, 2015, cell, Panel{TiltDeg: -5}); err == nil {
+		t.Error("invalid panel accepted")
+	}
+}

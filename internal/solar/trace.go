@@ -1,0 +1,111 @@
+package solar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trace is a sequence of hourly harvested-energy values in joules.
+type Trace struct {
+	// Month and Year identify the simulated period (year only seeds the
+	// weather; the irradiance geometry repeats annually).
+	Month, Year int
+	// Hours holds one entry per hour of the month, in joules.
+	Hours []float64
+	// Skies records the sky state of each hour (diagnostic).
+	Skies []Sky
+}
+
+// MonthlyTrace synthesizes an hourly harvesting trace for a month at
+// Golden, CO: clear-sky geometry x Markov weather x cell model. The same
+// (month, year, cell) always produces the same trace — the year acts as
+// the weather seed, standing in for the paper's measured 2015–2018 record.
+func MonthlyTrace(month, year int, cell Cell) (*Trace, error) {
+	if err := validateMonth(month); err != nil {
+		return nil, err
+	}
+	if err := cell.Validate(); err != nil {
+		return nil, err
+	}
+	w := NewWeather(int64(year)*100 + int64(month))
+	tr := &Trace{Month: month, Year: year}
+	for day := 1; day <= DaysInMonth(month); day++ {
+		for hour := 0; hour < 24; hour++ {
+			_, att := w.Step()
+			// Mid-hour irradiance approximates the hourly mean.
+			ghi := ClearSkyGHIAt(month, day, float64(hour)+0.5) * att
+			tr.Hours = append(tr.Hours, cell.HourEnergy(ghi))
+			tr.Skies = append(tr.Skies, w.State())
+		}
+	}
+	return tr, nil
+}
+
+// September2015 regenerates the case-study month of Section 5.4 with the
+// default cell.
+func September2015() (*Trace, error) { return MonthlyTrace(9, 2015, DefaultCell()) }
+
+// Total returns the month's harvested energy in joules.
+func (t *Trace) Total() float64 {
+	var s float64
+	for _, v := range t.Hours {
+		s += v
+	}
+	return s
+}
+
+// Peak returns the largest hourly harvest in the trace.
+func (t *Trace) Peak() float64 {
+	var m float64
+	for _, v := range t.Hours {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// DaylightHours counts hours with harvest above the threshold (J).
+func (t *Trace) DaylightHours(threshold float64) int {
+	n := 0
+	for _, v := range t.Hours {
+		if v > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Day returns the 24 hourly values of day d (1-based).
+func (t *Trace) Day(d int) ([]float64, error) {
+	lo := (d - 1) * 24
+	if d < 1 || lo+24 > len(t.Hours) {
+		return nil, fmt.Errorf("solar: day %d outside trace", d)
+	}
+	return t.Hours[lo : lo+24], nil
+}
+
+// Stats returns the mean and standard deviation of the positive (daylight)
+// hourly harvests.
+func (t *Trace) Stats() (mean, std float64) {
+	var sum float64
+	n := 0
+	for _, v := range t.Hours {
+		if v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for _, v := range t.Hours {
+		if v > 0 {
+			d := v - mean
+			ss += d * d
+		}
+	}
+	return mean, math.Sqrt(ss / float64(n))
+}

@@ -1,0 +1,95 @@
+package solar
+
+import "math/rand"
+
+// Sky is the coarse weather state of the Markov cloud model.
+type Sky int
+
+const (
+	// Clear sky: near-full clear-sky irradiance.
+	Clear Sky = iota
+	// Partly cloudy: substantial, fluctuating attenuation.
+	Partly
+	// Overcast: heavy attenuation.
+	Overcast
+)
+
+// String names the sky state.
+func (s Sky) String() string {
+	switch s {
+	case Clear:
+		return "clear"
+	case Partly:
+		return "partly"
+	case Overcast:
+		return "overcast"
+	default:
+		return "sky(?)"
+	}
+}
+
+// weatherTransition is the hourly Markov transition matrix
+// [from][to] over {Clear, Partly, Overcast}. Rows sum to 1. The values
+// favour persistence, matching the hour-scale autocorrelation of real
+// irradiance records.
+var weatherTransition = [3][3]float64{
+	{0.82, 0.15, 0.03},
+	{0.25, 0.55, 0.20},
+	{0.10, 0.35, 0.55},
+}
+
+// attenuation returns the fraction of clear-sky irradiance that reaches
+// the panel under the given sky, with within-state variation.
+func attenuation(s Sky, rng *rand.Rand) float64 {
+	switch s {
+	case Clear:
+		return 0.92 + rng.Float64()*0.08
+	case Partly:
+		return 0.40 + rng.Float64()*0.40
+	default:
+		return 0.08 + rng.Float64()*0.25
+	}
+}
+
+// Weather is a seeded Markov cloud process. The zero value is not usable;
+// construct with NewWeather.
+type Weather struct {
+	state Sky
+	rng   *rand.Rand
+}
+
+// NewWeather creates a cloud process with the given seed. The initial
+// state is drawn from the approximate stationary distribution.
+func NewWeather(seed int64) *Weather {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Weather{rng: rng}
+	r := rng.Float64()
+	switch {
+	case r < 0.55:
+		w.state = Clear
+	case r < 0.85:
+		w.state = Partly
+	default:
+		w.state = Overcast
+	}
+	return w
+}
+
+// Step advances one hour and returns the new sky state and its
+// attenuation factor.
+func (w *Weather) Step() (Sky, float64) {
+	r := w.rng.Float64()
+	row := weatherTransition[w.state]
+	switch {
+	case r < row[0]:
+		w.state = Clear
+	case r < row[0]+row[1]:
+		w.state = Partly
+	default:
+		w.state = Overcast
+	}
+	return w.state, attenuation(w.state, w.rng)
+}
+
+// State returns the current sky state without advancing.
+func (w *Weather) State() Sky { return w.state }

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fault models sensor failure modes seen in deployed wearables. Faults
+// corrupt windows *after* generation, so experiments can measure how each
+// design point's accuracy degrades — and whether the Pareto ordering that
+// REAP relies on survives hardware trouble.
+type Fault int
+
+const (
+	// NoFault leaves the window untouched.
+	NoFault Fault = iota
+	// StuckAxis freezes one accelerometer axis at its first sample
+	// (a common MEMS failure).
+	StuckAxis
+	// Dropout zeroes a contiguous chunk of all channels (bus stall,
+	// brown-out during sampling).
+	Dropout
+	// SpikeNoise injects large impulsive outliers (connector chatter).
+	SpikeNoise
+	// StretchDetached drives the stretch channel to a constant: the band
+	// lost tension or slipped off.
+	StretchDetached
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case NoFault:
+		return "none"
+	case StuckAxis:
+		return "stuck-axis"
+	case Dropout:
+		return "dropout"
+	case SpikeNoise:
+		return "spike-noise"
+	case StretchDetached:
+		return "stretch-detached"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Faults lists the injectable failure modes (excluding NoFault).
+func Faults() []Fault {
+	return []Fault{StuckAxis, Dropout, SpikeNoise, StretchDetached}
+}
+
+// Corrupt returns a deep copy of w with the fault applied. The original
+// window is never modified. Randomness (which axis sticks, where the
+// dropout lands) comes from rng.
+func Corrupt(w Window, f Fault, rng *rand.Rand) (Window, error) {
+	out := Window{
+		User:     w.User,
+		Activity: w.Activity,
+		AccelX:   append([]float64(nil), w.AccelX...),
+		AccelY:   append([]float64(nil), w.AccelY...),
+		AccelZ:   append([]float64(nil), w.AccelZ...),
+		Stretch:  append([]float64(nil), w.Stretch...),
+	}
+	switch f {
+	case NoFault:
+	case StuckAxis:
+		axis := [][]float64{out.AccelX, out.AccelY, out.AccelZ}[rng.Intn(3)]
+		if len(axis) > 0 {
+			v := axis[0]
+			for i := range axis {
+				axis[i] = v
+			}
+		}
+	case Dropout:
+		n := len(out.AccelX)
+		if n > 0 {
+			chunk := n/4 + rng.Intn(n/4+1) // 25–50% of the window
+			start := rng.Intn(n - chunk + 1)
+			for i := start; i < start+chunk; i++ {
+				out.AccelX[i], out.AccelY[i], out.AccelZ[i], out.Stretch[i] = 0, 0, 0, 0
+			}
+		}
+	case SpikeNoise:
+		for i := range out.AccelX {
+			if rng.Float64() < 0.02 {
+				spike := (rng.Float64()*2 - 1) * 4
+				out.AccelX[i] += spike
+				out.AccelY[i] += spike * 0.7
+				out.AccelZ[i] += spike * 0.4
+			}
+		}
+	case StretchDetached:
+		v := 0.2 + rng.Float64()*0.1 // slack band reads a low constant
+		for i := range out.Stretch {
+			out.Stretch[i] = v
+		}
+	default:
+		return Window{}, fmt.Errorf("synth: unknown fault %d", int(f))
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFaultStrings(t *testing.T) {
+	for _, f := range append(Faults(), NoFault, Fault(99)) {
+		if f.String() == "" {
+			t.Fatalf("empty name for fault %d", int(f))
+		}
+	}
+	if len(Faults()) != 4 {
+		t.Fatalf("%d faults", len(Faults()))
+	}
+}
+
+func TestCorruptDoesNotAliasOriginal(t *testing.T) {
+	u := NewUserProfile(0, 1)
+	w := Generate(u, Walk, rand.New(rand.NewSource(2)))
+	orig := append([]float64(nil), w.AccelY...)
+	for _, f := range Faults() {
+		if _, err := Corrupt(w, f, rand.New(rand.NewSource(3))); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if w.AccelY[i] != orig[i] {
+				t.Fatalf("fault %v mutated the original window", f)
+			}
+		}
+	}
+}
+
+func TestNoFaultIsIdentity(t *testing.T) {
+	u := NewUserProfile(1, 2)
+	w := Generate(u, Sit, rand.New(rand.NewSource(4)))
+	c, err := Corrupt(w, NoFault, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Stretch {
+		if c.Stretch[i] != w.Stretch[i] || c.AccelX[i] != w.AccelX[i] {
+			t.Fatal("NoFault changed samples")
+		}
+	}
+	if c.Activity != w.Activity || c.User != w.User {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestStuckAxisFreezesOneAxis(t *testing.T) {
+	u := NewUserProfile(2, 3)
+	w := Generate(u, Walk, rand.New(rand.NewSource(6)))
+	c, err := Corrupt(w, StuckAxis, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := func(x []float64) bool {
+		for _, v := range x[1:] {
+			if v != x[0] {
+				return false
+			}
+		}
+		return true
+	}
+	frozen := 0
+	for _, axis := range [][]float64{c.AccelX, c.AccelY, c.AccelZ} {
+		if constant(axis) {
+			frozen++
+		}
+	}
+	if frozen != 1 {
+		t.Fatalf("%d axes frozen, want exactly 1", frozen)
+	}
+	if constant(c.Stretch) {
+		t.Fatal("stretch should be untouched by a stuck accel axis")
+	}
+}
+
+func TestDropoutZeroesChunk(t *testing.T) {
+	u := NewUserProfile(3, 4)
+	w := Generate(u, Jump, rand.New(rand.NewSource(8)))
+	c, err := Corrupt(w, Dropout, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for i := range c.AccelX {
+		if c.AccelX[i] == 0 && c.AccelY[i] == 0 && c.AccelZ[i] == 0 && c.Stretch[i] == 0 {
+			zeros++
+		}
+	}
+	if zeros < len(c.AccelX)/4 || zeros > len(c.AccelX)/2+1 {
+		t.Fatalf("dropout zeroed %d samples of %d, want 25–50%%", zeros, len(c.AccelX))
+	}
+}
+
+func TestStretchDetachedFlattens(t *testing.T) {
+	u := NewUserProfile(4, 5)
+	w := Generate(u, Walk, rand.New(rand.NewSource(10)))
+	c, err := Corrupt(w, StretchDetached, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Stretch[1:] {
+		if v != c.Stretch[0] {
+			t.Fatal("detached stretch not constant")
+		}
+	}
+	// Accel untouched.
+	for i := range w.AccelY {
+		if c.AccelY[i] != w.AccelY[i] {
+			t.Fatal("detached stretch corrupted accel")
+		}
+	}
+}
+
+func TestSpikeNoiseAddsOutliers(t *testing.T) {
+	u := NewUserProfile(5, 6)
+	w := Generate(u, Sit, rand.New(rand.NewSource(12)))
+	c, err := Corrupt(w, SpikeNoise, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range w.AccelX {
+		if c.AccelX[i] != w.AccelX[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("spike noise changed nothing")
+	}
+	if changed > len(w.AccelX)/5 {
+		t.Fatalf("spike noise changed %d samples, should be sparse", changed)
+	}
+}
+
+func TestCorruptUnknownFault(t *testing.T) {
+	u := NewUserProfile(6, 7)
+	w := Generate(u, Sit, rand.New(rand.NewSource(14)))
+	if _, err := Corrupt(w, Fault(99), rand.New(rand.NewSource(15))); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Timeline generates a realistic sequence of activity windows for a day
+// of wear: activities persist for minutes (not single windows), posture
+// changes are bridged by explicit Transition windows, and the mix varies
+// by hour of day (nobody jogs at 3 am). The device simulator consumes
+// timelines to measure realized accuracy against a lifelike stream rather
+// than uniformly shuffled windows.
+type Timeline struct {
+	user UserProfile
+	rng  *rand.Rand
+
+	current   Activity
+	remaining int // windows left in the current bout
+	hour      int // hour of day, advanced by the caller via Advance
+	windows   int // windows generated within the current hour
+}
+
+// WindowsPerHour is how many 1.6 s activity windows fit in an hour
+// (3600 / 1.6).
+const WindowsPerHour = 2250
+
+// boutWindows is the dwell-time range of a bout, in windows (a window is
+// 1.6 s; 40–600 windows ≈ 1–16 minutes).
+const (
+	minBout = 40
+	maxBout = 600
+)
+
+// hourlyMix returns the activity distribution for an hour of day.
+// Probabilities sum to 1 over the six persistent activities; transitions
+// are inserted between bouts rather than drawn.
+func hourlyMix(hour int) map[Activity]float64 {
+	switch {
+	case hour < 6: // night
+		return map[Activity]float64{LieDown: 0.92, Sit: 0.05, Stand: 0.02, Walk: 0.01}
+	case hour < 9: // morning: commute
+		return map[Activity]float64{Sit: 0.25, Stand: 0.15, Walk: 0.25, Drive: 0.25, Jump: 0.05, LieDown: 0.05}
+	case hour < 12: // working morning
+		return map[Activity]float64{Sit: 0.55, Stand: 0.20, Walk: 0.20, Jump: 0.05}
+	case hour < 14: // lunch
+		return map[Activity]float64{Sit: 0.40, Stand: 0.20, Walk: 0.35, Jump: 0.05}
+	case hour < 18: // working afternoon
+		return map[Activity]float64{Sit: 0.55, Stand: 0.20, Walk: 0.18, Drive: 0.05, Jump: 0.02}
+	case hour < 20: // evening: commute/exercise
+		return map[Activity]float64{Sit: 0.20, Stand: 0.10, Walk: 0.30, Drive: 0.20, Jump: 0.15, LieDown: 0.05}
+	default: // wind-down
+		return map[Activity]float64{Sit: 0.45, Stand: 0.05, Walk: 0.10, LieDown: 0.40}
+	}
+}
+
+// NewTimeline starts a timeline for the given user at the given hour of
+// day (0–23).
+func NewTimeline(u UserProfile, startHour int, seed int64) (*Timeline, error) {
+	if startHour < 0 || startHour > 23 {
+		return nil, fmt.Errorf("synth: start hour %d outside 0..23", startHour)
+	}
+	tl := &Timeline{
+		user: u,
+		rng:  rand.New(rand.NewSource(seed)),
+		hour: startHour,
+	}
+	tl.startBout()
+	return tl, nil
+}
+
+// startBout draws the next persistent activity and its dwell time.
+func (tl *Timeline) startBout() {
+	mix := hourlyMix(tl.hour)
+	r := tl.rng.Float64()
+	acc := 0.0
+	next := Sit
+	for _, a := range Activities() {
+		p, ok := mix[a]
+		if !ok {
+			continue
+		}
+		acc += p
+		if r < acc {
+			next = a
+			break
+		}
+	}
+	tl.current = next
+	tl.remaining = minBout + tl.rng.Intn(maxBout-minBout)
+}
+
+// Next returns the next activity window in the stream. Between bouts it
+// emits a single Transition window.
+func (tl *Timeline) Next() Window {
+	tl.windows++
+	if tl.windows >= WindowsPerHour {
+		tl.windows = 0
+		tl.hour = (tl.hour + 1) % 24
+	}
+	if tl.remaining <= 0 {
+		tl.startBout()
+		return Generate(tl.user, Transition, tl.rng)
+	}
+	tl.remaining--
+	return Generate(tl.user, tl.current, tl.rng)
+}
+
+// Hour returns the current hour of day.
+func (tl *Timeline) Hour() int { return tl.hour }
+
+// Current returns the ongoing persistent activity.
+func (tl *Timeline) Current() Activity { return tl.current }
+
+// Day generates a full day (24 x WindowsPerHour windows) for the user,
+// returning the labeled stream. It is a convenience for experiments that
+// need the whole sequence at once; streaming callers should use Next.
+func Day(u UserProfile, seed int64) ([]Window, error) {
+	tl, err := NewTimeline(u, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Window, 0, 24*WindowsPerHour)
+	for i := 0; i < 24*WindowsPerHour; i++ {
+		out = append(out, tl.Next())
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UserProfile captures the per-subject variation that makes HAR accuracy
+// user-dependent: device orientation on the body, gait cadence, motion
+// vigor, sensor noise level and stretch-band fit.
+type UserProfile struct {
+	// ID is the subject index.
+	ID int
+	// RotX, RotY, RotZ are small device-mounting rotation angles in
+	// radians applied to every accelerometer sample.
+	RotX, RotY, RotZ float64
+	// StepHz is the subject's walking cadence.
+	StepHz float64
+	// JumpHz is the subject's jumping rate.
+	JumpHz float64
+	// Vigor scales motion amplitudes.
+	Vigor float64
+	// NoiseScale scales all sensor noise.
+	NoiseScale float64
+	// StretchBase offsets the stretch-band baseline (band fit).
+	StretchBase float64
+	// StretchGain scales stretch excursions (band elasticity).
+	StretchGain float64
+}
+
+// NewUserProfile derives a deterministic profile for subject id from the
+// corpus seed.
+func NewUserProfile(id int, seed int64) UserProfile {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(id)*7919))
+	const deg = math.Pi / 180
+	return UserProfile{
+		ID:          id,
+		RotX:        rng.NormFloat64() * 12 * deg,
+		RotY:        rng.NormFloat64() * 12 * deg,
+		RotZ:        rng.NormFloat64() * 12 * deg,
+		StepHz:      1.5 + rng.Float64()*0.7,
+		JumpHz:      2.0 + rng.Float64()*0.8,
+		Vigor:       0.8 + rng.Float64()*0.4,
+		NoiseScale:  0.8 + rng.Float64()*0.5,
+		StretchBase: rng.NormFloat64() * 0.04,
+		StretchGain: 0.85 + rng.Float64()*0.3,
+	}
+}
+
+// rotate applies the user's mounting rotation (XYZ Euler order) to an
+// acceleration vector.
+func (u UserProfile) rotate(x, y, z float64) (float64, float64, float64) {
+	// Rotate about X.
+	cy, sy := math.Cos(u.RotX), math.Sin(u.RotX)
+	y, z = y*cy-z*sy, y*sy+z*cy
+	// Rotate about Y.
+	cz, sz := math.Cos(u.RotY), math.Sin(u.RotY)
+	x, z = x*cz+z*sz, -x*sz+z*cz
+	// Rotate about Z.
+	cx, sx := math.Cos(u.RotZ), math.Sin(u.RotZ)
+	x, y = x*cx-y*sx, x*sx+y*cx
+	return x, y, z
+}

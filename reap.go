@@ -1,0 +1,124 @@
+// Package reap is the public API of this reproduction of
+// "REAP: Runtime Energy-Accuracy Optimization for Energy Harvesting IoT
+// Devices" (Bhat, Bagewadi, Lee, Ogras — DAC 2019).
+//
+// REAP co-optimizes recognition accuracy and active time for a device that
+// exposes several design points with different energy-accuracy trade-offs
+// and lives on a harvested energy budget. Every activity period (an hour),
+// it solves a small linear program that decides how long to run each
+// design point and how long to stay off.
+//
+// # Quick start
+//
+//	cfg := reap.DefaultConfig()              // the paper's five Table 2 DPs
+//	alloc, err := reap.Solve(cfg, 5.0)       // 5 J budget for this hour
+//	if err != nil { ... }
+//	fmt.Println(alloc)                       // dp4:42.9% dp5:57.1%
+//	fmt.Println(alloc.ExpectedAccuracy(cfg)) // 0.82
+//
+// # Long-running devices
+//
+// Controller wraps Solve with battery tracking and planned-versus-measured
+// energy accounting:
+//
+//	ctl, _ := reap.NewController(cfg, 20 /*J charge*/, 100 /*J capacity*/)
+//	for hour := range harvest {
+//	    alloc, _ := ctl.Step(harvest[hour])
+//	    consumed := execute(alloc)           // run the device
+//	    ctl.Report(consumed)                 // close the feedback loop
+//	}
+//
+// # Beyond the optimizer
+//
+// The internal packages build the paper's whole evaluation stack from
+// scratch — synthetic user studies (internal/synth), the HAR design-point
+// space (internal/har), a calibrated component energy model
+// (internal/energy), solar harvesting (internal/solar), a device simulator
+// (internal/device) and one generator per table/figure (internal/eval) —
+// see DESIGN.md and the examples/ directory.
+package reap
+
+import (
+	"repro/internal/core"
+)
+
+// Core optimizer types, re-exported for API stability.
+type (
+	// DesignPoint is one operating configuration: a (accuracy, power)
+	// pair the optimizer can schedule.
+	DesignPoint = core.DesignPoint
+	// Config fixes the period, off-state power, α and design points.
+	Config = core.Config
+	// Allocation is a schedule: seconds per design point, off and dead
+	// time.
+	Allocation = core.Allocation
+	// Controller is the runtime loop: budget in, schedule out, consumed
+	// energy back in.
+	Controller = core.Controller
+	// Region classifies budgets into the paper's Figure 5 regimes.
+	Region = core.Region
+)
+
+// Region values (see Figure 5 of the paper).
+const (
+	RegionDead = core.RegionDead
+	Region1    = core.Region1
+	Region2    = core.Region2
+	Region3    = core.Region3
+)
+
+// Defaults from the paper's experimental setup.
+const (
+	// DefaultPeriod is the one-hour activity period TP in seconds.
+	DefaultPeriod = core.DefaultPeriod
+	// DefaultPOff is the 50 µW off-state draw (0.18 J per hour).
+	DefaultPOff = core.DefaultPOff
+)
+
+// DefaultConfig returns the paper's configuration: one-hour period, 50 µW
+// off-state power, α = 1 and the five Table 2 design points.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PaperDesignPoints returns the five Pareto-optimal design points of
+// Table 2 as measured on the paper's prototype.
+func PaperDesignPoints() []DesignPoint { return core.PaperDesignPoints() }
+
+// Solve computes the optimal time allocation for one activity period with
+// the given energy budget in joules, using the simplex method (the paper's
+// Algorithm 1).
+func Solve(cfg Config, budget float64) (Allocation, error) { return core.Solve(cfg, budget) }
+
+// SolveEnumerate computes the same optimum by direct vertex enumeration;
+// it exists as an independent cross-check and is faster for small N.
+func SolveEnumerate(cfg Config, budget float64) (Allocation, error) {
+	return core.SolveEnumerate(cfg, budget)
+}
+
+// NewController creates a runtime controller with a backup battery of the
+// given charge and capacity in joules (zero capacity for battery-less
+// devices).
+func NewController(cfg Config, batteryJ, capacityJ float64) (*Controller, error) {
+	return core.NewController(cfg, batteryJ, capacityJ)
+}
+
+// StaticAllocation is the single-design-point baseline: run design point i
+// for as long as the budget allows, then switch off.
+func StaticAllocation(cfg Config, i int, budget float64) Allocation {
+	return core.StaticAllocation(cfg, i, budget)
+}
+
+// StaticObjective evaluates J(t) for the static baseline.
+func StaticObjective(cfg Config, i int, budget float64) float64 {
+	return core.StaticObjective(cfg, i, budget)
+}
+
+// ParetoFront filters design points to the non-dominated set, ordered by
+// decreasing power (DP1-first, like the paper).
+func ParetoFront(dps []DesignPoint) []DesignPoint { return core.ParetoFront(dps) }
+
+// Classify places an energy budget into its operating region.
+func Classify(cfg Config, budget float64) Region { return core.Classify(cfg, budget) }
+
+// RegionBoundaries returns the budgets at which optimizer behaviour
+// changes: the idle floor and each design point's saturation energy.
+func RegionBoundaries(cfg Config) []float64 { return core.RegionBoundaries(cfg) }
