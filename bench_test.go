@@ -9,6 +9,8 @@ package reap
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -209,6 +211,89 @@ func BenchmarkControllerStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// batchRequests builds n independent solve requests spanning the full
+// budget range, the workload shape of a fleet re-planning tick.
+func batchRequests(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Budget: 11.0 * float64(i) / float64(n)}
+	}
+	return reqs
+}
+
+// BenchmarkSolveBatch compares the sequential baseline against the
+// worker-pool batch layer at fleet scales (1k and 10k devices). The
+// parallel path should scale with GOMAXPROCS; the recorded speedup is the
+// headline number for the batch API.
+func BenchmarkSolveBatch(b *testing.B) {
+	ctx := context.Background()
+	solver, err := LookupSolver(SolverSimplex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, n := range []int{1000, 10000} {
+		reqs := batchRequests(n)
+		b.Run(fmt.Sprintf("sequential/%d", n), func(b *testing.B) {
+			results := make([]Result, len(reqs))
+			for i := 0; i < b.N; i++ {
+				for j, req := range reqs {
+					alloc, err := solver.Solve(ctx, cfg, req.Budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					results[j] = Result{Allocation: alloc}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, res := range SolveBatch(ctx, reqs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetStepAll measures one fleet re-planning tick (stateful
+// sessions, battery + accounting) at 1k devices, sequential loop versus
+// the bounded worker pool.
+func BenchmarkFleetStepAll(b *testing.B) {
+	const n = 1000
+	ctx := context.Background()
+	budgets := make([]float64, n)
+	for i := range budgets {
+		budgets[i] = 11.0 * float64(i) / n
+	}
+	b.Run("sequential", func(b *testing.B) {
+		fleet, err := NewFleet(n, WithBattery(20, 100), WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fleet.StepAll(ctx, budgets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pool", func(b *testing.B) {
+		fleet, err := NewFleet(n, WithBattery(20, 100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fleet.StepAll(ctx, budgets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFeatureExtractionDP1 is Table 2's feature-generation stage for

@@ -16,7 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/eval"
 	"repro/internal/har"
 	"repro/internal/synth"
@@ -30,7 +30,10 @@ func main() {
 		"skip Table 2 / Figure 3 (the experiments that train classifiers)")
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
+	cfg, err := reap.NewConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
 	type experiment struct {
 		name string
 		run  func() (interface{ Render() string }, error)

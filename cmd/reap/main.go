@@ -4,20 +4,23 @@
 // Usage:
 //
 //	reap -budget 5.0 [-alpha 1] [-period 3600] [-poff 5e-5] [-dps file.json]
+//	     [-solver simplex|enumerate]
 //
 // The design points default to the paper's Table 2; -dps accepts a JSON
 // array of {"name": ..., "accuracy": ..., "power": ...} objects (power in
-// watts).
+// watts). -solver selects a registered optimizer backend by name.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
-	"repro/internal/core"
+	"repro"
 )
 
 type jsonDP struct {
@@ -30,32 +33,49 @@ func main() {
 	log.SetFlags(0)
 	budget := flag.Float64("budget", 5.0, "energy budget for the period, joules")
 	alpha := flag.Float64("alpha", 1.0, "accuracy emphasis exponent")
-	period := flag.Float64("period", core.DefaultPeriod, "activity period, seconds")
-	poff := flag.Float64("poff", core.DefaultPOff, "off-state power, watts")
+	period := flag.Float64("period", reap.DefaultPeriod, "activity period, seconds")
+	poff := flag.Float64("poff", reap.DefaultPOff, "off-state power, watts")
 	dpsFile := flag.String("dps", "", "JSON file with custom design points")
+	solverName := flag.String("solver", reap.SolverSimplex,
+		"optimizer backend: "+strings.Join(reap.Solvers(), ", "))
 	flag.Parse()
 
-	cfg := core.Config{Period: *period, POff: *poff, Alpha: *alpha, DPs: core.PaperDesignPoints()}
+	opts := []reap.Option{
+		reap.WithPeriod(*period),
+		reap.WithOffPower(*poff),
+		reap.WithAlpha(*alpha),
+	}
 	if *dpsFile != "" {
 		data, err := os.ReadFile(*dpsFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var dps []jsonDP
-		if err := json.Unmarshal(data, &dps); err != nil {
+		var raw []jsonDP
+		if err := json.Unmarshal(data, &raw); err != nil {
 			log.Fatalf("parsing %s: %v", *dpsFile, err)
 		}
-		cfg.DPs = nil
-		for _, d := range dps {
-			cfg.DPs = append(cfg.DPs, core.DesignPoint{Name: d.Name, Accuracy: d.Accuracy, Power: d.Power})
+		dps := make([]reap.DesignPoint, len(raw))
+		for i, d := range raw {
+			dps[i] = reap.DesignPoint{Name: d.Name, Accuracy: d.Accuracy, Power: d.Power}
 		}
+		opts = append(opts, reap.WithDesignPoints(dps...))
 	}
 
-	alloc, err := core.Solve(cfg, *budget)
+	cfg, err := reap.NewConfig(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("budget      %.3f J (%s)\n", *budget, core.Classify(cfg, *budget))
+	solver, err := reap.LookupSolver(*solverName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alloc, err := solver.Solve(context.Background(), cfg, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget      %.3f J (%s)\n", *budget, reap.Classify(cfg, *budget))
+	fmt.Printf("solver      %s\n", *solverName)
 	fmt.Printf("objective   J(t) = %.4f (alpha %g)\n", alloc.Objective(cfg), cfg.Alpha)
 	fmt.Printf("expected accuracy %.2f%%\n", 100*alloc.ExpectedAccuracy(cfg))
 	fmt.Printf("active time %.0f s of %.0f (%.1f%%)\n",

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/forecast"
@@ -43,8 +44,10 @@ func main() {
 	}
 	harvest := tr.Hours[:hours]
 
-	cfg := core.DefaultConfig()
-	cfg.Alpha = *alpha
+	cfg, err := reap.NewConfig(reap.WithAlpha(*alpha))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-5s %-9s %-9s %-22s %-9s %-7s %-10s\n",
 		"hour", "harvest", "budget", "schedule", "E{a}%", "batt", "dJ/dE(1/J)")
@@ -70,7 +73,7 @@ func main() {
 		return
 	}
 
-	ctl, err := core.NewController(cfg, *battery, *capacity)
+	ctl, err := reap.New(reap.WithConfig(cfg), reap.WithBattery(*battery, *capacity))
 	if err != nil {
 		log.Fatal(err)
 	}

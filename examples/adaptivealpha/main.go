@@ -13,8 +13,7 @@ import (
 )
 
 func main() {
-	cfg := reap.DefaultConfig()
-	ctl, err := reap.NewController(cfg, 10, 50)
+	ctl, err := reap.New(reap.WithBattery(10, 50))
 	if err != nil {
 		panic(err)
 	}

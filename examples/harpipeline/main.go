@@ -6,10 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/har"
 	"repro/internal/synth"
 )
@@ -34,10 +35,15 @@ func main() {
 	}
 
 	// Assemble the optimizer configuration from the simulated
-	// characterization (not the paper's numbers) and plan an hour.
+	// characterization (not the paper's numbers) and plan an hour with
+	// the enumeration backend from the solver registry.
 	cfg := har.CoreConfig(points, 1)
+	solver, err := reap.LookupSolver(reap.SolverEnumerate)
+	if err != nil {
+		panic(err)
+	}
 	budget := 5.0
-	alloc, err := core.Solve(cfg, budget)
+	alloc, err := solver.Solve(context.Background(), cfg, budget)
 	if err != nil {
 		panic(err)
 	}

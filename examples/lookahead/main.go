@@ -9,7 +9,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/device"
 	"repro/internal/forecast"
 	"repro/internal/solar"
@@ -21,7 +21,10 @@ func main() {
 		panic(err)
 	}
 	week := tr.Hours[:168]
-	cfg := core.DefaultConfig()
+	cfg, err := reap.NewConfig()
+	if err != nil {
+		panic(err)
+	}
 
 	// Myopic greedy: each hour spends what it harvests.
 	sim := &device.Simulator{Cfg: cfg}

@@ -4,13 +4,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
 func main() {
-	cfg := reap.DefaultConfig()
+	ctx := context.Background()
+	cfg, err := reap.NewConfig() // the paper's defaults; compose WithAlpha etc. to change them
+	if err != nil {
+		panic(err)
+	}
+	solver, err := reap.LookupSolver(reap.SolverSimplex)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("registered solver backends: %v\n\n", reap.Solvers())
 
 	fmt.Println("REAP quickstart: the paper's five design points")
 	for _, dp := range cfg.DPs {
@@ -22,7 +32,7 @@ func main() {
 	// The paper's running example: a 5 J hourly budget lands in Region 2,
 	// and the optimum mixes DP4 (42%) with DP5 (58%).
 	for _, budget := range []float64{0.5, 2.0, 5.0, 8.0, 10.5} {
-		alloc, err := reap.Solve(cfg, budget)
+		alloc, err := solver.Solve(ctx, cfg, budget)
 		if err != nil {
 			panic(err)
 		}

@@ -7,7 +7,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/device"
 	"repro/internal/solar"
 )
@@ -25,7 +25,10 @@ func main() {
 	// allocation layer does.
 	budgets := solar.DefaultBatteryAllocator().Budgets(tr.Hours)
 
-	cfg := core.DefaultConfig()
+	cfg, err := reap.NewConfig()
+	if err != nil {
+		panic(err)
+	}
 	sim := &device.Simulator{Cfg: cfg}
 
 	reapRun, err := sim.Run(device.REAPPolicy{}, budgets)
@@ -44,7 +47,7 @@ func main() {
 	}
 
 	// Closed loop with the runtime controller: battery state + feedback.
-	ctl, err := core.NewController(cfg, 20, 100)
+	ctl, err := reap.New(reap.WithConfig(cfg), reap.WithBattery(20, 100))
 	if err != nil {
 		panic(err)
 	}
@@ -53,12 +56,12 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	regionHours := map[core.Region]int{}
+	regionHours := map[reap.Region]int{}
 	for _, o := range outcomes {
 		regionHours[o.Region]++
 	}
 	fmt.Printf("\nclosed-loop month with controller (3%% execution noise):\n")
-	for _, r := range []core.Region{core.RegionDead, core.Region1, core.Region2, core.Region3} {
+	for _, r := range []reap.Region{reap.RegionDead, reap.Region1, reap.Region2, reap.Region3} {
 		fmt.Printf("  %-8s %3d hours\n", r, regionHours[r])
 	}
 	fmt.Printf("  final battery %.1f J of 100 J\n", ctl.Battery())

@@ -1,0 +1,247 @@
+package reap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Fleet owns one Controller session per device and steps them all
+// concurrently — the coordination layer for serving many harvesting
+// devices from one process. Every device shares the same configuration,
+// solver backend and initial battery state; per-device divergence happens
+// through each device's own budgets, accounting carry and battery.
+//
+//	fleet, _ := reap.NewFleet(1000, reap.WithBattery(20, 100))
+//	allocs, err := fleet.StepAll(ctx, budgets) // budgets[i] for device i
+type Fleet struct {
+	ctls    []*Controller
+	workers int
+}
+
+// NewFleet creates n controller sessions from the same options New
+// accepts, plus WithWorkers to bound StepAll's concurrency.
+func NewFleet(n int, opts ...Option) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: fleet size %d must be positive", ErrInvalidConfig, n)
+	}
+	s := defaultSettings()
+	if err := s.apply(opts); err != nil {
+		return nil, err
+	}
+	solver, err := s.resolveSolver()
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{ctls: make([]*Controller, n), workers: s.workers}
+	for i := range f.ctls {
+		ctl, err := core.NewController(s.cfg, s.batteryJ, s.capacityJ)
+		if err != nil {
+			return nil, err
+		}
+		ctl.SetSolveFunc(solver.Solve)
+		f.ctls[i] = ctl
+	}
+	return f, nil
+}
+
+// Size returns the number of devices in the fleet.
+func (f *Fleet) Size() int { return len(f.ctls) }
+
+// Device returns device i's controller, for per-device inspection and
+// tuning (battery level, SetAlpha). The controller is not safe to step
+// concurrently with StepAll.
+func (f *Fleet) Device(i int) *Controller { return f.ctls[i] }
+
+// StepAll plans the next activity period for every device: budgets[i] is
+// the energy (J) device i's harvesting subsystem expects to collect. The
+// solves run on a bounded worker pool (WithWorkers, default GOMAXPROCS).
+//
+// The returned slice always has one entry per device. Per-device failures
+// do not stop the rest of the fleet: failed entries hold the zero
+// Allocation and the joined error names each failing device. Cancelling
+// the context abandons devices not yet started; each abandoned device
+// gets its own "not stepped" entry in the joined error, so callers can
+// tell which devices already committed battery/accounting state (stepped
+// devices must not be retried — Step is not idempotent).
+func (f *Fleet) StepAll(ctx context.Context, budgets []float64) ([]Allocation, error) {
+	if len(budgets) != len(f.ctls) {
+		return nil, fmt.Errorf("%w: %d budgets for %d devices", ErrInvalidConfig, len(budgets), len(f.ctls))
+	}
+	allocs := make([]Allocation, len(f.ctls))
+	errs := make([]error, len(f.ctls))
+	started := make([]bool, len(f.ctls))
+	f.run(ctx, len(f.ctls), func(i int) {
+		started[i] = true
+		alloc, err := f.ctls[i].StepContext(ctx, budgets[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("device %d: %w", i, err)
+			return
+		}
+		allocs[i] = alloc
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !started[i] {
+				errs[i] = fmt.Errorf("device %d: not stepped: %w", i, err)
+			}
+		}
+	}
+	return allocs, errors.Join(errs...)
+}
+
+// ReportAll closes the feedback loop for every device: consumed[i] is the
+// energy device i actually spent during the period StepAll last planned.
+func (f *Fleet) ReportAll(consumed []float64) error {
+	if len(consumed) != len(f.ctls) {
+		return fmt.Errorf("%w: %d reports for %d devices", ErrInvalidConfig, len(consumed), len(f.ctls))
+	}
+	errs := make([]error, len(f.ctls))
+	for i, ctl := range f.ctls {
+		if err := ctl.Report(consumed[i]); err != nil {
+			errs[i] = fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// run executes work(0..n-1) on the fleet's worker pool, stopping early
+// when ctx is cancelled.
+func (f *Fleet) run(ctx context.Context, n int, work func(i int)) {
+	workers := f.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	poolRun(ctx, workers, n, work)
+}
+
+// poolChunk is how many indices a worker claims at a time. One solve
+// runs in about a microsecond, so per-index handoff through a channel
+// would cost more than the work; chunked claims off an atomic counter
+// amortize the coordination to noise while keeping the pool balanced.
+const poolChunk = 64
+
+// poolRun fans indices 0..n-1 out to the given number of workers,
+// stopping early (at chunk granularity) when ctx is cancelled.
+func poolRun(ctx context.Context, workers, n int, work func(i int)) {
+	if workers == 1 {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				start := int(next.Add(poolChunk)) - poolChunk
+				if start >= n {
+					return
+				}
+				end := start + poolChunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					work(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Request is one independent solve in a SolveBatch call.
+type Request struct {
+	// Config for the solve; the zero value selects the paper defaults
+	// (DefaultConfig).
+	Config Config
+	// Budget is the energy available for the period, in joules.
+	Budget float64
+	// Solver names the registry backend to use; empty selects simplex.
+	Solver string
+}
+
+// Result pairs a Request's allocation with its error; exactly one of the
+// two is meaningful.
+type Result struct {
+	Allocation Allocation
+	Err        error
+}
+
+// SolveBatch solves many independent allocation problems on a worker pool
+// of GOMAXPROCS goroutines — the stateless counterpart of Fleet.StepAll
+// for embarrassingly parallel workloads (budget sweeps, what-if grids,
+// serving stateless solve RPCs). results[i] answers reqs[i]; cancelling
+// the context marks every unstarted request with ctx.Err().
+func SolveBatch(ctx context.Context, reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	started := make([]bool, len(reqs))
+
+	// Resolve every request's backend up front, memoized per distinct
+	// name: the per-request work is a microsecond-scale solve, so
+	// registry locking and map lookups must stay out of the hot loop.
+	// resolved/resolveErr are read-only once the pool starts.
+	defaultCfg := core.DefaultConfig()
+	byName := map[string]Solver{}
+	errByName := map[string]error{}
+	resolved := make([]Solver, len(reqs))
+	resolveErr := make([]error, len(reqs))
+	for i, req := range reqs {
+		name := req.Solver
+		if name == "" {
+			name = SolverSimplex
+		}
+		if _, seen := byName[name]; !seen && errByName[name] == nil {
+			if s, err := LookupSolver(name); err != nil {
+				errByName[name] = err
+			} else {
+				byName[name] = s
+			}
+		}
+		resolved[i], resolveErr[i] = byName[name], errByName[name]
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	poolRun(ctx, workers, len(reqs), func(i int) {
+		started[i] = true
+		if err := resolveErr[i]; err != nil {
+			results[i] = Result{Err: err}
+			return
+		}
+		cfg := reqs[i].Config
+		if isZeroConfig(cfg) {
+			cfg = defaultCfg
+		}
+		alloc, err := resolved[i].Solve(ctx, cfg, reqs[i].Budget)
+		results[i] = Result{Allocation: alloc, Err: err}
+	})
+	// Requests the pool never started (context cancelled mid-batch) carry
+	// the context error so callers can tell them from successes.
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !started[i] {
+				results[i].Err = err
+			}
+		}
+	}
+	return results
+}
+
+func isZeroConfig(c Config) bool {
+	return c.Period == 0 && c.POff == 0 && c.Alpha == 0 && c.DPs == nil
+}

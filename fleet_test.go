@@ -1,0 +1,176 @@
+package reap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFleetStepAllMatchesSequential checks that the concurrent fleet path
+// produces exactly the schedules a sequential per-device loop would, over
+// 1000 devices spanning every operating region. Run under -race this is
+// also the fleet's data-race test.
+func TestFleetStepAllMatchesSequential(t *testing.T) {
+	const n = 1000
+	ctx := context.Background()
+
+	fleet, err := NewFleet(n, WithBattery(20, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := make([]float64, n)
+	for i := range budgets {
+		budgets[i] = 11.0 * float64(i) / n // dead region through saturation
+	}
+
+	allocs, err := fleet.StepAll(ctx, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != n {
+		t.Fatalf("%d allocations for %d devices", len(allocs), n)
+	}
+
+	for i, alloc := range allocs {
+		ref, err := New(WithBattery(20, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Step(budgets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fleet.Device(i).Config()
+		if math.Abs(alloc.Objective(cfg)-want.Objective(cfg)) > 1e-12 {
+			t.Fatalf("device %d: fleet %v, sequential %v", i, alloc, want)
+		}
+	}
+
+	// Second period: the per-device battery state must have evolved
+	// independently and ReportAll must close every loop.
+	consumed := make([]float64, n)
+	for i, alloc := range allocs {
+		consumed[i] = alloc.Energy(fleet.Device(i).Config())
+	}
+	if err := fleet.ReportAll(consumed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.StepAll(ctx, budgets); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Device(0).Steps() != 2 {
+		t.Fatalf("device 0 stepped %d times, want 2", fleet.Device(0).Steps())
+	}
+}
+
+func TestFleetStepAllWorkerBounds(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		fleet, err := NewFleet(50, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgets := make([]float64, 50)
+		for i := range budgets {
+			budgets[i] = 5
+		}
+		allocs, err := fleet.StepAll(context.Background(), budgets)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, a := range allocs {
+			if a.Total() == 0 {
+				t.Fatalf("workers=%d: device %d unplanned", workers, i)
+			}
+		}
+	}
+}
+
+func TestFleetStepAllBudgetMismatch(t *testing.T) {
+	fleet, err := NewFleet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.StepAll(context.Background(), []float64{1, 2}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("mismatched budgets: err %v, want ErrInvalidConfig", err)
+	}
+	if err := fleet.ReportAll([]float64{1}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("mismatched reports: err %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestFleetStepAllPartialFailure(t *testing.T) {
+	fleet, err := NewFleet(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []float64{5, math.NaN(), 5, -1, 5}
+	allocs, err := fleet.StepAll(context.Background(), budgets)
+	if err == nil {
+		t.Fatal("bad budgets accepted")
+	}
+	if !errors.Is(err, ErrBudgetNegative) {
+		t.Fatalf("err %v, want ErrBudgetNegative in the chain", err)
+	}
+	// The error names the failing devices; the healthy ones still planned.
+	for _, d := range []string{"device 1", "device 3"} {
+		if !strings.Contains(err.Error(), d) {
+			t.Errorf("error %q does not name %s", err, d)
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if allocs[i].Total() == 0 {
+			t.Errorf("healthy device %d unplanned", i)
+		}
+	}
+}
+
+func TestFleetStepAllCancelled(t *testing.T) {
+	fleet, err := NewFleet(100, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	budgets := make([]float64, 100)
+	if _, err := fleet.StepAll(ctx, budgets); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled StepAll: err %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBatchMatchesDirectSolve(t *testing.T) {
+	ctx := context.Background()
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := LookupSolverMust(t, SolverSimplex)
+
+	reqs := make([]Request, 200)
+	for i := range reqs {
+		reqs[i] = Request{Budget: 11.0 * float64(i) / float64(len(reqs))}
+	}
+	results := SolveBatch(ctx, reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		want, err := solver.Solve(ctx, cfg, reqs[i].Budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Allocation.Objective(cfg)-want.Objective(cfg)) > 1e-12 {
+			t.Fatalf("request %d: batch %v, direct %v", i, res.Allocation, want)
+		}
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	if results := SolveBatch(context.Background(), nil); len(results) != 0 {
+		t.Fatalf("empty batch returned %d results", len(results))
+	}
+}

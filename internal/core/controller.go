@@ -1,9 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
+
+// SolveFunc is the pluggable optimizer backend of a Controller: it maps a
+// configuration and an energy budget onto an allocation. SolveContext and
+// SolveEnumerateContext both satisfy it; the public reap package adapts
+// registered Solver backends through this type.
+type SolveFunc func(ctx context.Context, c Config, budget float64) (Allocation, error)
 
 // Controller is the runtime side of REAP: once per activity period it
 // receives the energy made available by the harvesting subsystem, folds in
@@ -28,6 +35,9 @@ type Controller struct {
 	lastAlloc  Allocation
 	lastBudget float64
 	steps      int
+
+	// solve is the optimizer backend; nil selects SolveContext (simplex).
+	solve SolveFunc
 }
 
 // NewController creates a runtime controller. batteryJ is the initial
@@ -38,8 +48,9 @@ func NewController(cfg Config, batteryJ, capacityJ float64) (*Controller, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if capacityJ < 0 || batteryJ < 0 || batteryJ > capacityJ+1e-9 {
-		return nil, fmt.Errorf("core: invalid battery state %v/%v", batteryJ, capacityJ)
+	if capacityJ < 0 || batteryJ < 0 || batteryJ > capacityJ+1e-9 ||
+		math.IsNaN(batteryJ) || math.IsNaN(capacityJ) {
+		return nil, fmt.Errorf("%w: battery state %v/%v", ErrInvalidConfig, batteryJ, capacityJ)
 	}
 	return &Controller{cfg: cfg, battery: batteryJ, capacityJ: capacityJ}, nil
 }
@@ -60,25 +71,39 @@ func (ct *Controller) LastBudget() float64 { return ct.lastBudget }
 // periods, modelling a user-preference update at runtime.
 func (ct *Controller) SetAlpha(alpha float64) error {
 	if alpha < 0 || math.IsNaN(alpha) {
-		return fmt.Errorf("core: alpha %v must be non-negative", alpha)
+		return fmt.Errorf("%w: alpha %v must be non-negative", ErrInvalidConfig, alpha)
 	}
 	ct.cfg.Alpha = alpha
 	return nil
 }
+
+// SetSolveFunc selects the optimizer backend used by subsequent Steps; a
+// nil fn restores the default simplex path. Not safe for concurrent use
+// with Step — configure the controller before starting its period loop.
+func (ct *Controller) SetSolveFunc(fn SolveFunc) { ct.solve = fn }
 
 // Step plans the next activity period. harvested is the energy (J) the
 // harvesting subsystem expects to collect during the period. The budget
 // handed to the optimizer is the harvested energy plus whatever the battery
 // can contribute, corrected by the previous period's accounting balance.
 func (ct *Controller) Step(harvested float64) (Allocation, error) {
+	return ct.StepContext(context.Background(), harvested)
+}
+
+// StepContext is Step with cancellation, forwarded to the solver backend.
+func (ct *Controller) StepContext(ctx context.Context, harvested float64) (Allocation, error) {
 	if harvested < 0 || math.IsNaN(harvested) {
-		return Allocation{}, fmt.Errorf("core: harvested energy %v must be non-negative", harvested)
+		return Allocation{}, fmt.Errorf("%w: harvested energy %v", ErrBudgetNegative, harvested)
 	}
 	budget := harvested + ct.battery + ct.carry
 	if budget < 0 {
 		budget = 0
 	}
-	alloc, err := Solve(ct.cfg, budget)
+	solve := ct.solve
+	if solve == nil {
+		solve = SolveContext
+	}
+	alloc, err := solve(ctx, ct.cfg, budget)
 	if err != nil {
 		return Allocation{}, err
 	}
@@ -101,7 +126,7 @@ func (ct *Controller) Step(harvested float64) (Allocation, error) {
 // energy-neutral even when the device deviates from the plan.
 func (ct *Controller) Report(consumed float64) error {
 	if consumed < 0 || math.IsNaN(consumed) {
-		return fmt.Errorf("core: consumed energy %v must be non-negative", consumed)
+		return fmt.Errorf("%w: consumed energy %v", ErrBudgetNegative, consumed)
 	}
 	planned := ct.lastAlloc.Energy(ct.cfg)
 	ct.carry += planned - consumed

@@ -43,27 +43,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration for physical consistency.
+// Validate checks the configuration for physical consistency. Every
+// failure wraps ErrInvalidConfig so callers can classify with errors.Is.
 func (c Config) Validate() error {
 	if c.Period <= 0 || math.IsNaN(c.Period) {
-		return fmt.Errorf("core: period %v must be positive", c.Period)
+		return fmt.Errorf("%w: period %v must be positive", ErrInvalidConfig, c.Period)
 	}
 	if c.POff < 0 || math.IsNaN(c.POff) {
-		return fmt.Errorf("core: off power %v must be non-negative", c.POff)
+		return fmt.Errorf("%w: off power %v must be non-negative", ErrInvalidConfig, c.POff)
 	}
 	if c.Alpha < 0 || math.IsNaN(c.Alpha) {
-		return fmt.Errorf("core: alpha %v must be non-negative", c.Alpha)
+		return fmt.Errorf("%w: alpha %v must be non-negative", ErrInvalidConfig, c.Alpha)
 	}
 	if len(c.DPs) == 0 {
-		return ErrNoDesignPoints
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, ErrNoDesignPoints)
 	}
 	for _, d := range c.DPs {
 		if err := d.Validate(); err != nil {
-			return err
+			return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 		}
 		if d.Power <= c.POff {
-			return fmt.Errorf("core: design point %q power %v must exceed off power %v",
-				d.Name, d.Power, c.POff)
+			return fmt.Errorf("%w: design point %q power %v must exceed off power %v",
+				ErrInvalidConfig, d.Name, d.Power, c.POff)
 		}
 	}
 	return nil

@@ -1,22 +1,44 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/lp"
 )
 
+// checkSolveArgs runs the shared argument validation of every solve entry
+// point: a cancelled context, an invalid configuration, or a negative or
+// NaN budget each map onto the package's sentinel errors.
+func checkSolveArgs(ctx context.Context, c Config, budget float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(budget) || budget < 0 {
+		return fmt.Errorf("%w: got %v", ErrBudgetNegative, budget)
+	}
+	return nil
+}
+
 // Solve computes the optimal allocation for the given energy budget (J)
 // using the simplex method, mirroring Algorithm 1 of the paper. Budgets
 // below the off-state floor are handled outside the LP: the device idles
 // for as long as the budget allows and is dead for the remainder.
 func Solve(c Config, budget float64) (Allocation, error) {
-	if err := c.Validate(); err != nil {
+	return SolveContext(context.Background(), c, budget)
+}
+
+// SolveContext is Solve with cancellation: the context is checked before
+// the LP is built. The solve itself runs in microseconds, so no further
+// checks happen mid-pivot; the context exists so fleet-scale callers can
+// drain a batch promptly after cancellation.
+func SolveContext(ctx context.Context, c Config, budget float64) (Allocation, error) {
+	if err := checkSolveArgs(ctx, c, budget); err != nil {
 		return Allocation{}, err
-	}
-	if math.IsNaN(budget) || budget < 0 {
-		return Allocation{}, fmt.Errorf("core: budget %v must be non-negative", budget)
 	}
 	if alloc, done := preLP(c, budget); done {
 		return alloc, nil
@@ -47,7 +69,7 @@ func Solve(c Config, budget float64) (Allocation, error) {
 		return Allocation{}, err
 	}
 	if sol.Status != lp.Optimal {
-		return Allocation{}, fmt.Errorf("core: solver terminated with status %v", sol.Status)
+		return Allocation{}, fmt.Errorf("core: solver terminated early: %w", solveStatusError(sol.Status))
 	}
 	alloc := Allocation{Active: sol.X[:n:n], Off: sol.X[n]}
 	clampAllocation(&alloc, c)
@@ -61,11 +83,14 @@ func Solve(c Config, budget float64) (Allocation, error) {
 // binding. This independent solver cross-checks the simplex path and is
 // also faster for small N (O(N²) with tiny constants).
 func SolveEnumerate(c Config, budget float64) (Allocation, error) {
-	if err := c.Validate(); err != nil {
+	return SolveEnumerateContext(context.Background(), c, budget)
+}
+
+// SolveEnumerateContext is SolveEnumerate with cancellation, checked once
+// at entry (see SolveContext).
+func SolveEnumerateContext(ctx context.Context, c Config, budget float64) (Allocation, error) {
+	if err := checkSolveArgs(ctx, c, budget); err != nil {
 		return Allocation{}, err
-	}
-	if math.IsNaN(budget) || budget < 0 {
-		return Allocation{}, fmt.Errorf("core: budget %v must be non-negative", budget)
 	}
 	if alloc, done := preLP(c, budget); done {
 		return alloc, nil

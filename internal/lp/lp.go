@@ -112,6 +112,33 @@ var (
 	ErrEmpty     = errors.New("lp: problem has no variables")
 )
 
+// Terminal status errors. Solve itself reports these through
+// Solution.Status; Status.Err converts them into sentinel errors so
+// callers can classify outcomes with errors.Is across package
+// boundaries.
+var (
+	ErrInfeasible     = errors.New("lp: problem is infeasible")
+	ErrUnbounded      = errors.New("lp: problem is unbounded")
+	ErrIterationLimit = errors.New("lp: iteration limit reached before optimality")
+)
+
+// Err returns the sentinel error matching a non-Optimal status, or nil
+// for Optimal. Unknown status values map to a generic error.
+func (s Status) Err() error {
+	switch s {
+	case Optimal:
+		return nil
+	case Infeasible:
+		return ErrInfeasible
+	case Unbounded:
+		return ErrUnbounded
+	case IterationLimit:
+		return ErrIterationLimit
+	default:
+		return fmt.Errorf("lp: unknown status %d", int(s))
+	}
+}
+
 // eps is the numerical tolerance used for pivoting and feasibility tests.
 const eps = 1e-9
 

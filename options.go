@@ -1,0 +1,197 @@
+package reap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Option configures New, NewConfig and NewFleet. Options are applied in
+// order, so later options override earlier ones; every option validates
+// its arguments and construction fails on the first bad one.
+type Option func(*settings) error
+
+// settings accumulates the option values before construction. The zero
+// battery (0 J charge, 0 J capacity) models the battery-less device
+// class, matching the paper's harvesting-only prototype.
+type settings struct {
+	cfg        Config
+	solverName string
+	solver     Solver
+	batteryJ   float64
+	capacityJ  float64
+	workers    int
+}
+
+func defaultSettings() *settings {
+	return &settings{cfg: core.DefaultConfig(), solverName: SolverSimplex}
+}
+
+func (s *settings) apply(opts []Option) error {
+	for _, opt := range opts {
+		if opt == nil {
+			return fmt.Errorf("%w: nil option", ErrInvalidConfig)
+		}
+		if err := opt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveSolver returns the configured backend: an explicit
+// WithSolverBackend wins, otherwise the named registry entry.
+func (s *settings) resolveSolver() (Solver, error) {
+	if s.solver != nil {
+		return s.solver, nil
+	}
+	return LookupSolver(s.solverName)
+}
+
+// WithConfig replaces the whole configuration, for callers that already
+// hold a Config (for instance one characterized by the har pipeline).
+// Field-level options placed after it refine the replaced value. The
+// design-point slice is copied, so mutating the caller's Config after
+// construction never reaches a validated session.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) error {
+		cfg.DPs = append([]DesignPoint(nil), cfg.DPs...)
+		s.cfg = cfg
+		return nil
+	}
+}
+
+// WithDesignPoints replaces the design-point set. The points are used as
+// given — call ParetoFront first to drop dominated points.
+func WithDesignPoints(dps ...DesignPoint) Option {
+	return func(s *settings) error {
+		if len(dps) == 0 {
+			return fmt.Errorf("%w: WithDesignPoints needs at least one point", ErrInvalidConfig)
+		}
+		s.cfg.DPs = append([]DesignPoint(nil), dps...)
+		return nil
+	}
+}
+
+// WithAlpha sets the accuracy-versus-active-time emphasis exponent of the
+// objective J(t) = (1/TP) Σ aᵢ^α tᵢ. Range checking happens once, in
+// Config.Validate, when the construction completes.
+func WithAlpha(alpha float64) Option {
+	return func(s *settings) error {
+		s.cfg.Alpha = alpha
+		return nil
+	}
+}
+
+// WithPeriod sets the activity period TP in seconds.
+func WithPeriod(seconds float64) Option {
+	return func(s *settings) error {
+		s.cfg.Period = seconds
+		return nil
+	}
+}
+
+// WithOffPower sets the off-state power draw in watts (the harvesting and
+// monitoring circuitry that stays powered while the application is off).
+func WithOffPower(watts float64) Option {
+	return func(s *settings) error {
+		s.cfg.POff = watts
+		return nil
+	}
+}
+
+// WithSolver selects a registered backend by name; see Solvers for the
+// available names. The name resolves at construction time, so an unknown
+// backend fails New rather than the first Step. NewConfig ignores this
+// option (beyond validating the name) since a Config carries no solver.
+func WithSolver(name string) Option {
+	return func(s *settings) error {
+		if _, err := LookupSolver(name); err != nil {
+			return err
+		}
+		s.solverName = name
+		s.solver = nil
+		return nil
+	}
+}
+
+// WithSolverBackend installs an unregistered Solver directly, bypassing
+// the registry — useful for tests and for decorators (caching, metrics)
+// that wrap a registered backend. NewConfig ignores this option.
+func WithSolverBackend(s Solver) Option {
+	return func(st *settings) error {
+		if s == nil {
+			return fmt.Errorf("%w: nil solver backend", ErrInvalidConfig)
+		}
+		st.solver = s
+		return nil
+	}
+}
+
+// WithBattery sets the backup battery's initial charge and capacity in
+// joules. The default (0, 0) models a battery-less device; NewConfig
+// ignores this option since a Config carries no battery state.
+func WithBattery(chargeJ, capacityJ float64) Option {
+	return func(s *settings) error {
+		if capacityJ < 0 || chargeJ < 0 || chargeJ > capacityJ+1e-9 ||
+			math.IsNaN(chargeJ) || math.IsNaN(capacityJ) {
+			return fmt.Errorf("%w: battery state %v/%v", ErrInvalidConfig, chargeJ, capacityJ)
+		}
+		s.batteryJ, s.capacityJ = chargeJ, capacityJ
+		return nil
+	}
+}
+
+// WithWorkers bounds the worker pool a Fleet uses for StepAll. Zero (the
+// default) selects GOMAXPROCS. New and NewConfig ignore this option.
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: workers %d must be non-negative", ErrInvalidConfig, n)
+		}
+		s.workers = n
+		return nil
+	}
+}
+
+// NewConfig builds a validated Config from options, starting from the
+// paper's defaults (one-hour period, 50 µW off-state power, α = 1, the
+// five Table 2 design points). NewConfig() with no options is the
+// options-layer spelling of DefaultConfig.
+func NewConfig(opts ...Option) (Config, error) {
+	s := defaultSettings()
+	if err := s.apply(opts); err != nil {
+		return Config{}, err
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return s.cfg, nil
+}
+
+// New creates a runtime controller session from options. The zero-option
+// call reproduces the paper's setup: simplex backend, Table 2 design
+// points, battery-less device.
+//
+//	ctl, err := reap.New(
+//	    reap.WithAlpha(2),
+//	    reap.WithSolver(reap.SolverEnumerate),
+//	    reap.WithBattery(20, 100),
+//	)
+func New(opts ...Option) (*Controller, error) {
+	s := defaultSettings()
+	if err := s.apply(opts); err != nil {
+		return nil, err
+	}
+	solver, err := s.resolveSolver()
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := core.NewController(s.cfg, s.batteryJ, s.capacityJ)
+	if err != nil {
+		return nil, err
+	}
+	ctl.SetSolveFunc(solver.Solve)
+	return ctl, nil
+}

@@ -1,0 +1,171 @@
+package reap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewConfigDefaultsMatchPaper(t *testing.T) {
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	if cfg.Period != want.Period || cfg.POff != want.POff || cfg.Alpha != want.Alpha {
+		t.Fatalf("NewConfig() = %+v, want the paper defaults %+v", cfg, want)
+	}
+	if len(cfg.DPs) != 5 || cfg.DPs[0].Name != "DP1" {
+		t.Fatalf("NewConfig() design points %v", cfg.DPs)
+	}
+}
+
+func TestOptionCombinators(t *testing.T) {
+	dps := []DesignPoint{
+		{Name: "hi", Accuracy: 0.9, Power: 2e-3},
+		{Name: "lo", Accuracy: 0.6, Power: 1e-3},
+	}
+	cfg, err := NewConfig(
+		WithPeriod(1800),
+		WithOffPower(1e-5),
+		WithAlpha(2),
+		WithDesignPoints(dps...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Period != 1800 || cfg.POff != 1e-5 || cfg.Alpha != 2 || len(cfg.DPs) != 2 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	// The DP slice must be a copy: mutating the caller's slice afterwards
+	// must not reach the config.
+	dps[0].Accuracy = 0
+	if cfg.DPs[0].Accuracy != 0.9 {
+		t.Fatal("WithDesignPoints aliases the caller's slice")
+	}
+
+	// WithConfig must copy too.
+	src := DefaultConfig()
+	cfg2, err := NewConfig(WithConfig(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.DPs[0].Power = 1
+	if cfg2.DPs[0].Power == 1 {
+		t.Fatal("WithConfig aliases the caller's design-point slice")
+	}
+}
+
+func TestOptionOrderLaterWins(t *testing.T) {
+	cfg, err := NewConfig(WithAlpha(1), WithAlpha(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alpha != 3 {
+		t.Fatalf("alpha %v, want the later option's 3", cfg.Alpha)
+	}
+	// WithConfig replaces wholesale; field options after it refine.
+	base := DefaultConfig()
+	base.Alpha = 5
+	cfg, err = NewConfig(WithAlpha(2), WithConfig(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alpha != 5 {
+		t.Fatalf("WithConfig should override the earlier WithAlpha, got %v", cfg.Alpha)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := map[string]Option{
+		"negative alpha":   WithAlpha(-1),
+		"NaN alpha":        WithAlpha(math.NaN()),
+		"zero period":      WithPeriod(0),
+		"negative period":  WithPeriod(-3600),
+		"negative poff":    WithOffPower(-1),
+		"no design points": WithDesignPoints(),
+		"nil backend":      WithSolverBackend(nil),
+		"bad battery":      WithBattery(10, 5),
+		"negative battery": WithBattery(-1, 5),
+		"bad workers":      WithWorkers(-1),
+		"nil option":       nil,
+	}
+	for name, opt := range cases {
+		if _, err := New(opt); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: err %v, want ErrInvalidConfig", name, err)
+		}
+	}
+	if _, err := New(WithSolver("missing")); !errors.Is(err, ErrUnknownSolver) {
+		t.Errorf("WithSolver(missing): err %v, want ErrUnknownSolver", err)
+	}
+}
+
+func TestNewDefaultSessionMatchesLegacyController(t *testing.T) {
+	ctl, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := NewController(DefaultConfig(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []float64{0.1, 2, 5, 8, 12} {
+		a, err := ctl.Step(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := legacy.Step(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Objective(ctl.Config())-b.Objective(legacy.Config())) > 1e-12 {
+			t.Fatalf("New() and NewController diverge at %v J", h)
+		}
+	}
+}
+
+func TestNewWithEnumerateBackend(t *testing.T) {
+	ctl, err := New(WithSolver(SolverEnumerate), WithBattery(20, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ctl.Step(4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.ActiveTime() == 0 {
+		t.Fatal("enumerate-backed session produced an empty schedule")
+	}
+	if ctl.Battery() > 100 {
+		t.Fatalf("battery %v exceeds capacity", ctl.Battery())
+	}
+}
+
+func TestNewWithCustomBackend(t *testing.T) {
+	calls := 0
+	spy := SolverFunc(func(ctx context.Context, cfg Config, budget float64) (Allocation, error) {
+		calls++
+		return LookupSolverMust(t, SolverSimplex).Solve(ctx, cfg, budget)
+	})
+	ctl, err := New(WithSolverBackend(spy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("custom backend called %d times, want 1", calls)
+	}
+}
+
+// LookupSolverMust is a test helper that fails the test on lookup errors.
+func LookupSolverMust(t *testing.T, name string) Solver {
+	t.Helper()
+	s, err := LookupSolver(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -8,25 +8,46 @@
 // it solves a small linear program that decides how long to run each
 // design point and how long to stay off.
 //
+// The API is layered (see DESIGN.md):
+//
+//   - Solver layer: named optimizer backends behind a registry
+//     (RegisterSolver, LookupSolver, Solvers) sharing the Solver
+//     interface, with typed sentinel errors (ErrInvalidConfig,
+//     ErrBudgetNegative, ErrInfeasible, ErrUnknownSolver) classified via
+//     errors.Is.
+//   - Options layer: New and NewConfig assemble sessions and
+//     configurations from functional options (WithDesignPoints,
+//     WithAlpha, WithPeriod, WithSolver, WithBattery, ...).
+//   - Fleet layer: Fleet steps many per-device sessions on a bounded
+//     worker pool; SolveBatch is its stateless counterpart.
+//
 // # Quick start
 //
-//	cfg := reap.DefaultConfig()              // the paper's five Table 2 DPs
-//	alloc, err := reap.Solve(cfg, 5.0)       // 5 J budget for this hour
+//	cfg, _ := reap.NewConfig()               // the paper's five Table 2 DPs
+//	solver, _ := reap.LookupSolver(reap.SolverSimplex)
+//	alloc, err := solver.Solve(ctx, cfg, 5.0) // 5 J budget for this hour
 //	if err != nil { ... }
 //	fmt.Println(alloc)                       // dp4:42.9% dp5:57.1%
 //	fmt.Println(alloc.ExpectedAccuracy(cfg)) // 0.82
 //
 // # Long-running devices
 //
-// Controller wraps Solve with battery tracking and planned-versus-measured
-// energy accounting:
+// A Controller session wraps the solver with battery tracking and
+// planned-versus-measured energy accounting:
 //
-//	ctl, _ := reap.NewController(cfg, 20 /*J charge*/, 100 /*J capacity*/)
+//	ctl, _ := reap.New(reap.WithBattery(20 /*J charge*/, 100 /*J capacity*/))
 //	for hour := range harvest {
 //	    alloc, _ := ctl.Step(harvest[hour])
 //	    consumed := execute(alloc)           // run the device
 //	    ctl.Report(consumed)                 // close the feedback loop
 //	}
+//
+// # Fleets
+//
+// Fleet coordinates many devices from one process:
+//
+//	fleet, _ := reap.NewFleet(1000, reap.WithBattery(20, 100))
+//	allocs, _ := fleet.StepAll(ctx, budgets) // budgets[i] for device i
 //
 // # Beyond the optimizer
 //
@@ -77,6 +98,9 @@ const (
 
 // DefaultConfig returns the paper's configuration: one-hour period, 50 µW
 // off-state power, α = 1 and the five Table 2 design points.
+//
+// Deprecated: use NewConfig, which starts from the same defaults and
+// composes with options. DefaultConfig remains for source compatibility.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // PaperDesignPoints returns the five Pareto-optimal design points of
@@ -86,10 +110,17 @@ func PaperDesignPoints() []DesignPoint { return core.PaperDesignPoints() }
 // Solve computes the optimal time allocation for one activity period with
 // the given energy budget in joules, using the simplex method (the paper's
 // Algorithm 1).
+//
+// Deprecated: look up a backend through the solver registry instead
+// (LookupSolver(SolverSimplex)), which adds context cancellation and
+// backend choice. Solve remains as a thin wrapper.
 func Solve(cfg Config, budget float64) (Allocation, error) { return core.Solve(cfg, budget) }
 
 // SolveEnumerate computes the same optimum by direct vertex enumeration;
 // it exists as an independent cross-check and is faster for small N.
+//
+// Deprecated: use LookupSolver(SolverEnumerate). SolveEnumerate remains
+// as a thin wrapper.
 func SolveEnumerate(cfg Config, budget float64) (Allocation, error) {
 	return core.SolveEnumerate(cfg, budget)
 }
@@ -97,6 +128,10 @@ func SolveEnumerate(cfg Config, budget float64) (Allocation, error) {
 // NewController creates a runtime controller with a backup battery of the
 // given charge and capacity in joules (zero capacity for battery-less
 // devices).
+//
+// Deprecated: use New with options — New(WithConfig(cfg),
+// WithBattery(batteryJ, capacityJ)) — which also selects the solver
+// backend. NewController remains as a thin wrapper.
 func NewController(cfg Config, batteryJ, capacityJ float64) (*Controller, error) {
 	return core.NewController(cfg, batteryJ, capacityJ)
 }

@@ -1,0 +1,132 @@
+package reap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolverRegistryBuiltins(t *testing.T) {
+	names := Solvers()
+	want := map[string]bool{SolverSimplex: false, SolverEnumerate: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("built-in solver %q missing from registry %v", n, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Solvers() not sorted: %v", names)
+		}
+	}
+}
+
+func TestLookupSolverUnknown(t *testing.T) {
+	_, err := LookupSolver("no-such-backend")
+	if !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("LookupSolver error %v, want ErrUnknownSolver", err)
+	}
+}
+
+func TestRegisterSolverValidation(t *testing.T) {
+	dummy := SolverFunc(func(ctx context.Context, cfg Config, budget float64) (Allocation, error) {
+		return Allocation{}, nil
+	})
+	if err := RegisterSolver("", dummy); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := RegisterSolver("nil-backend", nil); err == nil {
+		t.Error("nil solver accepted")
+	}
+	if err := RegisterSolver(SolverSimplex, dummy); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// A fresh name registers and becomes visible.
+	if err := RegisterSolver("test-dummy", dummy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupSolver("test-dummy"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackendsAgreeAcrossRegions is the acceptance sweep: both registered
+// backends must produce identical allocations on the paper's Table 2
+// configuration across every Figure 5 operating region, including the
+// region boundaries themselves.
+func TestBackendsAgreeAcrossRegions(t *testing.T) {
+	ctx := context.Background()
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplex, err := LookupSolver(SolverSimplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := LookupSolver(SolverEnumerate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budgets := []float64{0, 0.05, 0.1, 0.18} // dead region and the idle floor
+	for b := 0.2; b <= 11.0; b += 0.05 {     // regions 1-3 and beyond saturation
+		budgets = append(budgets, b)
+	}
+	budgets = append(budgets, RegionBoundaries(cfg)...)
+
+	regions := map[Region]int{}
+	for _, budget := range budgets {
+		a1, err := simplex.Solve(ctx, cfg, budget)
+		if err != nil {
+			t.Fatalf("simplex at %v J: %v", budget, err)
+		}
+		a2, err := enum.Solve(ctx, cfg, budget)
+		if err != nil {
+			t.Fatalf("enumerate at %v J: %v", budget, err)
+		}
+		if math.Abs(a1.Objective(cfg)-a2.Objective(cfg)) > 1e-9 {
+			t.Fatalf("objectives disagree at %v J: simplex %v enumerate %v",
+				budget, a1.Objective(cfg), a2.Objective(cfg))
+		}
+		for i := range a1.Active {
+			if math.Abs(a1.Active[i]-a2.Active[i]) > 1e-6 {
+				t.Fatalf("allocations disagree at %v J (%s): %v vs %v",
+					budget, Classify(cfg, budget), a1, a2)
+			}
+		}
+		if math.Abs(a1.Off-a2.Off) > 1e-6 || math.Abs(a1.Dead-a2.Dead) > 1e-6 {
+			t.Fatalf("off/dead disagree at %v J: %v vs %v", budget, a1, a2)
+		}
+		regions[Classify(cfg, budget)]++
+	}
+	for _, r := range []Region{RegionDead, Region1, Region2, Region3} {
+		if regions[r] == 0 {
+			t.Errorf("sweep never visited %v", r)
+		}
+	}
+}
+
+func TestSolverContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{SolverSimplex, SolverEnumerate} {
+		s, err := LookupSolver(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(ctx, cfg, 5.0); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled context: err %v, want context.Canceled", name, err)
+		}
+	}
+}
