@@ -260,40 +260,53 @@ func BenchmarkSolveBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkFleetStepAll measures one fleet re-planning tick (stateful
-// sessions, battery + accounting) at 1k devices, sequential loop versus
-// the bounded worker pool.
-func BenchmarkFleetStepAll(b *testing.B) {
-	const n = 1000
-	ctx := context.Background()
+// correlatedBudgets models a geographically clustered fleet: devices in
+// the same cluster (same weather cell, same panel tilt) harvest
+// near-identical energy, differing by far less than the cache's 1 mJ
+// quantization resolution — the workload the solve cache is built for.
+func correlatedBudgets(n int) []float64 {
 	budgets := make([]float64, n)
 	for i := range budgets {
-		budgets[i] = 11.0 * float64(i) / n
+		cluster := i % 24
+		base := 0.5 + 9.0*float64(cluster)/24.0
+		budgets[i] = base + 1e-6*float64(i%7) // jitter ≪ DefaultCacheResolution
 	}
-	b.Run("sequential", func(b *testing.B) {
-		fleet, err := NewFleet(n, WithBattery(20, 100), WithWorkers(1))
-		if err != nil {
-			b.Fatal(err)
+	return budgets
+}
+
+// BenchmarkFleetStepAll measures one fleet re-planning tick (stateful
+// sessions, battery + accounting) at 1k and 10k devices under
+// correlated budgets: the uncached path (sequential and pooled) versus
+// the default shared solve cache. cached/10000 versus uncached/10000 is
+// the headline number for the cache subsystem.
+func BenchmarkFleetStepAll(b *testing.B) {
+	ctx := context.Background()
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"sequential-uncached", []Option{WithoutSolveCache(), WithWorkers(1)}},
+		{"uncached", []Option{WithoutSolveCache()}},
+		{"cached", nil}, // NewFleet's default shared cache
+	}
+	for _, n := range []int{1000, 10000} {
+		budgets := correlatedBudgets(n)
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/%d", v.name, n), func(b *testing.B) {
+				opts := append([]Option{WithBattery(20, 100)}, v.opts...)
+				fleet, err := NewFleet(n, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fleet.StepAll(ctx, budgets); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := fleet.StepAll(ctx, budgets); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("pool", func(b *testing.B) {
-		fleet, err := NewFleet(n, WithBattery(20, 100))
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := fleet.StepAll(ctx, budgets); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	}
 }
 
 // BenchmarkFeatureExtractionDP1 is Table 2's feature-generation stage for

@@ -8,6 +8,13 @@
 //
 //	reapmon [-days 3] [-month 9] [-year 2015] [-alpha 1] [-battery 20]
 //	        [-capacity 100] [-noise 0.03] [-lookahead]
+//	        [-cache] [-cachesize 4096] [-cacheres 0.001]
+//
+// With -cache the controller's solves go through a solve cache (the same
+// subsystem fleets share; see reap.WithSolveCache) and the final line
+// reports its statistics — hits, misses, singleflight-coalesced lookups,
+// evictions and hit rate. The -lookahead planner bypasses the hourly
+// solver, so the cache does not apply there.
 package main
 
 import (
@@ -32,6 +39,9 @@ func main() {
 	capacity := flag.Float64("capacity", 100, "battery capacity, J")
 	noise := flag.Float64("noise", 0.03, "execution noise (relative std)")
 	lookahead := flag.Bool("lookahead", false, "use the 24h receding-horizon planner instead of myopic REAP")
+	useCache := flag.Bool("cache", false, "route solves through a solve cache and report its stats")
+	cacheSize := flag.Int("cachesize", 4096, "solve cache capacity in entries")
+	cacheRes := flag.Float64("cacheres", 0.001, "budget quantization resolution in J (0 = exact)")
 	flag.Parse()
 
 	tr, err := solar.MonthlyTrace(*month, *year, solar.DefaultCell())
@@ -73,7 +83,16 @@ func main() {
 		return
 	}
 
-	ctl, err := reap.New(reap.WithConfig(cfg), reap.WithBattery(*battery, *capacity))
+	opts := []reap.Option{reap.WithConfig(cfg), reap.WithBattery(*battery, *capacity)}
+	var sc *reap.SolveCache
+	if *useCache {
+		sc, err = reap.NewSolveCache(*cacheSize, *cacheRes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, reap.WithSharedSolveCache(sc))
+	}
+	ctl, err := reap.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,6 +108,13 @@ func main() {
 	}
 	fmt.Printf("\nmean E{a} %.3f over %d hours, final battery %.1f J\n",
 		sum/float64(len(outs)), len(outs), ctl.Battery())
+	if sc != nil {
+		s := sc.Stats()
+		fmt.Printf("solve cache: %d hits, %d misses, %d coalesced, %d evictions "+
+			"(%.1f%% served without a fresh solve, %d/%d entries, %g J resolution)\n",
+			s.Hits, s.Misses, s.Coalesced, s.Evictions,
+			100*s.HitRate(), s.Entries, s.Capacity, sc.Resolution())
+	}
 }
 
 func printHour(cfg core.Config, i int, harvest, budget float64, alloc core.Allocation, battery float64) {

@@ -45,7 +45,11 @@ func main() {
 		consumed := make([]float64, devices)
 		var hourAcc float64
 		for d, alloc := range allocs {
-			cfg := fleet.Device(d).Config()
+			dev, err := fleet.Device(d)
+			if err != nil {
+				panic(err)
+			}
+			cfg := dev.Config()
 			consumed[d] = alloc.Energy(cfg) // devices execute the plan faithfully here
 			hourAcc += alloc.ExpectedAccuracy(cfg)
 		}
@@ -58,8 +62,12 @@ func main() {
 				hour, mean(budgets), 100*hourAcc/devices)
 		}
 	}
-	fmt.Printf("\n24 fleet-hours (%d solves) in %v; day-mean E{a} %.1f%%\n",
+	fmt.Printf("\n24 fleet-hours (%d steps) in %v; day-mean E{a} %.1f%%\n",
 		24*devices, time.Since(start).Round(time.Millisecond), 100*totalAcc/(24*devices))
+	if stats, ok := fleet.CacheStats(); ok {
+		fmt.Printf("solve cache: %.1f%% served without a fresh solve (%d hits, %d coalesced, %d LP solves)\n",
+			100*stats.HitRate(), stats.Hits, stats.Coalesced, stats.Misses)
+	}
 
 	// Stateless batch: a what-if sweep over budgets and both backends.
 	reqs := make([]reap.Request, 0, 40)

@@ -19,13 +19,22 @@ import (
 //
 //	fleet, _ := reap.NewFleet(1000, reap.WithBattery(20, 100))
 //	allocs, err := fleet.StepAll(ctx, budgets) // budgets[i] for device i
+//
+// By default the fleet shares one solve cache across all devices (see
+// WithSolveCache): budgets are quantized down to 1 mJ so devices under
+// near-identical harvesting conditions reuse one LP solution, and
+// concurrent misses on the same entry coalesce onto a single solve.
+// Construct with WithoutSolveCache for bit-exact per-device solving.
 type Fleet struct {
 	ctls    []*Controller
 	workers int
+	cache   *SolveCache
 }
 
 // NewFleet creates n controller sessions from the same options New
-// accepts, plus WithWorkers to bound StepAll's concurrency.
+// accepts, plus WithWorkers to bound StepAll's concurrency. Unless the
+// options say otherwise, the fleet gets a shared solve cache of
+// DefaultCacheSize entries at DefaultCacheResolution.
 func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: fleet size %d must be positive", ErrInvalidConfig, n)
@@ -34,17 +43,25 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if err := s.apply(opts); err != nil {
 		return nil, err
 	}
-	solver, err := s.resolveSolver()
+	if !s.cacheSet {
+		sc, err := NewSolveCache(DefaultCacheSize, DefaultCacheResolution)
+		if err != nil {
+			return nil, err
+		}
+		s.solveCache = sc
+	}
+	solver, tag, err := s.resolveSolver()
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{ctls: make([]*Controller, n), workers: s.workers}
+	solve := s.wrapSolveFunc(tag, solver.Solve)
+	f := &Fleet{ctls: make([]*Controller, n), workers: s.workers, cache: s.solveCache}
 	for i := range f.ctls {
 		ctl, err := core.NewController(s.cfg, s.batteryJ, s.capacityJ)
 		if err != nil {
 			return nil, err
 		}
-		ctl.SetSolveFunc(solver.Solve)
+		ctl.SetSolveFunc(solve)
 		f.ctls[i] = ctl
 	}
 	return f, nil
@@ -54,9 +71,24 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 func (f *Fleet) Size() int { return len(f.ctls) }
 
 // Device returns device i's controller, for per-device inspection and
-// tuning (battery level, SetAlpha). The controller is not safe to step
+// tuning (battery level, SetAlpha). Out-of-range indices return an error
+// wrapping ErrInvalidConfig. The controller is not safe to step
 // concurrently with StepAll.
-func (f *Fleet) Device(i int) *Controller { return f.ctls[i] }
+func (f *Fleet) Device(i int) (*Controller, error) {
+	if i < 0 || i >= len(f.ctls) {
+		return nil, fmt.Errorf("%w: device %d out of range [0, %d)", ErrInvalidConfig, i, len(f.ctls))
+	}
+	return f.ctls[i], nil
+}
+
+// CacheStats snapshots the fleet's shared solve cache; ok is false when
+// the fleet was built with WithoutSolveCache.
+func (f *Fleet) CacheStats() (stats CacheStats, ok bool) {
+	if f.cache == nil {
+		return CacheStats{}, false
+	}
+	return f.cache.Stats(), true
+}
 
 // StepAll plans the next activity period for every device: budgets[i] is
 // the energy (J) device i's harvesting subsystem expects to collect. The
@@ -185,9 +217,23 @@ type Result struct {
 // for embarrassingly parallel workloads (budget sweeps, what-if grids,
 // serving stateless solve RPCs). results[i] answers reqs[i]; cancelling
 // the context marks every unstarted request with ctx.Err().
-func SolveBatch(ctx context.Context, reqs []Request) []Result {
+//
+// Unlike NewFleet, batches solve uncached by default (a sweep's budgets
+// are all distinct, and exactness matters for grids). Opting in with
+// WithSolveCache or WithSharedSolveCache routes every request through
+// the cache — sharing entries across batches when the cache is shared.
+// Option errors fail the whole batch: every result carries the error.
+func SolveBatch(ctx context.Context, reqs []Request, opts ...Option) []Result {
 	results := make([]Result, len(reqs))
 	started := make([]bool, len(reqs))
+
+	s := defaultSettings()
+	if err := s.apply(opts); err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
 
 	// Resolve every request's backend up front, memoized per distinct
 	// name: the per-request work is a microsecond-scale solve, so
@@ -204,10 +250,15 @@ func SolveBatch(ctx context.Context, reqs []Request) []Result {
 			name = SolverSimplex
 		}
 		if _, seen := byName[name]; !seen && errByName[name] == nil {
-			if s, err := LookupSolver(name); err != nil {
+			if solver, err := LookupSolver(name); err != nil {
 				errByName[name] = err
 			} else {
-				byName[name] = s
+				if s.solveCache != nil {
+					// Tag by registry name: entries stay per-backend but
+					// shared across batches hitting the same cache.
+					solver = s.solveCache.wrapTagged(registryTag(name), solver)
+				}
+				byName[name] = solver
 			}
 		}
 		resolved[i], resolveErr[i] = byName[name], errByName[name]

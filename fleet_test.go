@@ -4,21 +4,29 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
 // TestFleetStepAllMatchesSequential checks that the concurrent fleet path
 // produces exactly the schedules a sequential per-device loop would, over
-// 1000 devices spanning every operating region. Run under -race this is
-// also the fleet's data-race test.
+// 1000 devices spanning every operating region. WithoutSolveCache keeps
+// the comparison bit-exact (the default fleet cache quantizes budgets;
+// TestFleetDefaultCacheWithinQuantizationBound covers that path). Run
+// under -race this is also the fleet's data-race test.
 func TestFleetStepAllMatchesSequential(t *testing.T) {
 	const n = 1000
 	ctx := context.Background()
 
-	fleet, err := NewFleet(n, WithBattery(20, 100))
+	fleet, err := NewFleet(n, WithBattery(20, 100), WithoutSolveCache())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if _, ok := fleet.CacheStats(); ok {
+		t.Fatal("WithoutSolveCache fleet reports a cache")
 	}
 	budgets := make([]float64, n)
 	for i := range budgets {
@@ -42,7 +50,11 @@ func TestFleetStepAllMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := fleet.Device(i).Config()
+		dev, err := fleet.Device(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := dev.Config()
 		if math.Abs(alloc.Objective(cfg)-want.Objective(cfg)) > 1e-12 {
 			t.Fatalf("device %d: fleet %v, sequential %v", i, alloc, want)
 		}
@@ -52,7 +64,11 @@ func TestFleetStepAllMatchesSequential(t *testing.T) {
 	// independently and ReportAll must close every loop.
 	consumed := make([]float64, n)
 	for i, alloc := range allocs {
-		consumed[i] = alloc.Energy(fleet.Device(i).Config())
+		dev, err := fleet.Device(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumed[i] = alloc.Energy(dev.Config())
 	}
 	if err := fleet.ReportAll(consumed); err != nil {
 		t.Fatal(err)
@@ -60,8 +76,110 @@ func TestFleetStepAllMatchesSequential(t *testing.T) {
 	if _, err := fleet.StepAll(ctx, budgets); err != nil {
 		t.Fatal(err)
 	}
-	if fleet.Device(0).Steps() != 2 {
-		t.Fatalf("device 0 stepped %d times, want 2", fleet.Device(0).Steps())
+	dev0, err := fleet.Device(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev0.Steps() != 2 {
+		t.Fatalf("device 0 stepped %d times, want 2", dev0.Steps())
+	}
+}
+
+// TestFleetDeviceOutOfRange is the regression test for the Device panic:
+// out-of-range indices must return an ErrInvalidConfig error, not panic.
+func TestFleetDeviceOutOfRange(t *testing.T) {
+	fleet, err := NewFleet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 3, 1000} {
+		dev, err := fleet.Device(i)
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("Device(%d): err %v, want ErrInvalidConfig", i, err)
+		}
+		if dev != nil {
+			t.Fatalf("Device(%d) returned a controller with its error", i)
+		}
+	}
+	if dev, err := fleet.Device(2); err != nil || dev == nil {
+		t.Fatalf("Device(2) = %v, %v, want a controller", dev, err)
+	}
+}
+
+// maxMarginalValue is the LP value function's initial (and, by
+// concavity, maximal) slope in the budget: max_i aᵢ^α/(TP·(Pᵢ−Poff)).
+// It bounds the objective a quantized-down solve can lose.
+func maxMarginalValue(cfg Config) float64 {
+	var slope float64
+	for _, d := range cfg.DPs {
+		w := math.Pow(d.Accuracy, cfg.Alpha)
+		if cfg.Alpha == 0 {
+			w = 1
+		}
+		if s := w / (cfg.Period * (d.Power - cfg.POff)); s > slope {
+			slope = s
+		}
+	}
+	return slope
+}
+
+// TestFleetDefaultCacheWithinQuantizationBound checks the default cached
+// fleet against an exact fleet: every cached allocation stays feasible
+// for the true budget and loses at most resolution·maxslope objective.
+func TestFleetDefaultCacheWithinQuantizationBound(t *testing.T) {
+	const n = 500
+	ctx := context.Background()
+	cached, err := NewFleet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewFleet(n, WithoutSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 50 distinct budget levels across the fleet: plenty of sharing, all
+	// operating regions covered. Battery-less devices keep the effective
+	// budget equal to the harvested energy, so the bound is checkable.
+	budgets := make([]float64, n)
+	for i := range budgets {
+		budgets[i] = 11.0 * float64(i%50) / 50
+	}
+	cachedAllocs, err := cached.StepAll(ctx, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactAllocs, err := exact.StepAll(ctx, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := DefaultCacheResolution*maxMarginalValue(cfg) + 1e-9
+	for i := range cachedAllocs {
+		if energy := cachedAllocs[i].Energy(cfg); energy > budgets[i]+1e-9 {
+			t.Fatalf("device %d: cached allocation spends %v J of a %v J budget", i, energy, budgets[i])
+		}
+		if loss := exactAllocs[i].Objective(cfg) - cachedAllocs[i].Objective(cfg); loss > bound || loss < -1e-9 {
+			t.Fatalf("device %d: objective loss %v outside [0, %v]", i, loss, bound)
+		}
+	}
+
+	stats, ok := cached.CacheStats()
+	if !ok {
+		t.Fatal("default fleet reports no cache")
+	}
+	if lookups := stats.Hits + stats.Misses + stats.Coalesced; lookups != n {
+		t.Fatalf("cache saw %d lookups for %d devices", lookups, n)
+	}
+	if stats.Misses > 50 {
+		t.Fatalf("%d misses for 50 distinct budget levels", stats.Misses)
+	}
+	if stats.Hits+stats.Coalesced < n-50 {
+		t.Fatalf("stats %+v: want at least %d lookups deduplicated", stats, n-50)
 	}
 }
 
@@ -172,5 +290,148 @@ func TestSolveBatchMatchesDirectSolve(t *testing.T) {
 func TestSolveBatchEmpty(t *testing.T) {
 	if results := SolveBatch(context.Background(), nil); len(results) != 0 {
 		t.Fatalf("empty batch returned %d results", len(results))
+	}
+}
+
+// The registry is append-only and process-global, so tests that need a
+// bespoke backend register one hooked solver once and swap its behaviour
+// per test run (keeps -count=N reruns working).
+var (
+	registerHookedSolverOnce sync.Once
+	hookedSolve              atomic.Pointer[SolverFunc]
+)
+
+const hookedSolverName = "test-hooked"
+
+func registerHookedSolver(t *testing.T) {
+	t.Helper()
+	registerHookedSolverOnce.Do(func() {
+		err := RegisterSolver(hookedSolverName, SolverFunc(
+			func(ctx context.Context, cfg Config, budget float64) (Allocation, error) {
+				return (*hookedSolve.Load())(ctx, cfg, budget)
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSolveBatchCancellationMidBatch cancels the context from inside the
+// tenth solve: items completed before the cancellation keep their
+// results, everything else — abandoned or refused mid-flight — reports
+// context.Canceled.
+func TestSolveBatchCancellationMidBatch(t *testing.T) {
+	registerHookedSolver(t)
+	simplex := LookupSolverMust(t, SolverSimplex)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const n, cancelAt = 200, 10
+	var solves atomic.Int32
+	fn := SolverFunc(func(ctx context.Context, cfg Config, budget float64) (Allocation, error) {
+		// Solve first, cancel after: the counted solves are guaranteed to
+		// complete, so the assertions below are race-free on any core
+		// count (in-flight workers may still finish their current solve
+		// after the cancellation — bounded by the pool width).
+		alloc, err := simplex.Solve(ctx, cfg, budget)
+		if err == nil && solves.Add(1) == cancelAt {
+			cancel()
+		}
+		return alloc, err
+	})
+	hookedSolve.Store(&fn)
+
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Budget: 5, Solver: hookedSolverName}
+	}
+	results := SolveBatch(ctx, reqs)
+	if len(results) != n {
+		t.Fatalf("%d results for %d requests", len(results), n)
+	}
+
+	var completed, cancelled int
+	for i, res := range results {
+		switch {
+		case res.Err == nil:
+			if res.Allocation.Total() == 0 {
+				t.Fatalf("request %d: no error but empty allocation", i)
+			}
+			completed++
+		case errors.Is(res.Err, context.Canceled):
+			if res.Allocation.Total() != 0 {
+				t.Fatalf("request %d: cancelled but carries an allocation", i)
+			}
+			cancelled++
+		default:
+			t.Fatalf("request %d: unexpected error %v", i, res.Err)
+		}
+	}
+	if completed < cancelAt {
+		t.Fatalf("%d completed, want at least the %d solves that finished before cancellation", completed, cancelAt)
+	}
+	// Workers already inside a solve when the cancellation landed may
+	// finish it; anything beyond one per worker means the pool kept
+	// dispatching after cancellation.
+	if limit := cancelAt + runtime.GOMAXPROCS(0); completed > limit {
+		t.Fatalf("%d completed, want at most %d after cancellation at solve %d", completed, limit, cancelAt)
+	}
+	if cancelled == 0 {
+		t.Fatal("no request observed the cancellation")
+	}
+}
+
+// TestSolveBatchWithSolveCache opts a batch into a shared cache: one LP
+// solve serves every same-bucket request, across batches.
+func TestSolveBatchWithSolveCache(t *testing.T) {
+	ctx := context.Background()
+	sc, err := NewSolveCache(1024, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LookupSolverMust(t, SolverSimplex).Solve(ctx, cfg, 5.00) // the bucket floor
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := make([]Request, 100)
+	for i := range reqs {
+		reqs[i] = Request{Budget: 5.004 + 1e-4*float64(i%5)} // one 10 mJ bucket
+	}
+	for round := 0; round < 2; round++ {
+		for i, res := range SolveBatch(ctx, reqs, WithSharedSolveCache(sc)) {
+			if res.Err != nil {
+				t.Fatalf("round %d request %d: %v", round, i, res.Err)
+			}
+			if math.Abs(res.Allocation.Objective(cfg)-want.Objective(cfg)) > 1e-12 {
+				t.Fatalf("round %d request %d: cached %v, want bucket-floor solve %v",
+					round, i, res.Allocation, want)
+			}
+		}
+	}
+	stats := sc.Stats()
+	if stats.Misses != 1 {
+		t.Fatalf("%d LP solves for one bucket over two batches, want 1", stats.Misses)
+	}
+	if stats.Hits+stats.Coalesced != 199 {
+		t.Fatalf("stats %+v: want 199 deduplicated lookups", stats)
+	}
+}
+
+// TestSolveBatchBadOption: an option error fails the whole batch, one
+// error per result.
+func TestSolveBatchBadOption(t *testing.T) {
+	results := SolveBatch(context.Background(), make([]Request, 3), WithSolveCache(-1, 1e-3))
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, ErrInvalidConfig) {
+			t.Fatalf("request %d: err %v, want ErrInvalidConfig", i, res.Err)
+		}
 	}
 }

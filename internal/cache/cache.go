@@ -1,0 +1,278 @@
+// Package cache is the fleet-scale solve cache: a sharded, LRU-bounded,
+// singleflight-deduplicated memo of LP solutions keyed by a backend
+// tag, a canonical configuration fingerprint and a quantized energy
+// budget.
+//
+// The REAP controller re-solves a small LP every activity period, and in
+// a fleet thousands of devices with the same configuration and
+// near-identical harvests solve the same LP concurrently. The cache
+// collapses that work three ways:
+//
+//   - Quantization: budgets are snapped DOWN to a configurable resolution
+//     (floor(budget/r)·r), so near-identical devices share one entry. A
+//     cached allocation therefore never consumes more energy than the
+//     caller's true budget — feasibility is structural, not checked —
+//     and because the LP's optimal value is concave in the budget, the
+//     objective loss is at most r · max_i wᵢ/(TP·(Pᵢ−Poff)).
+//   - Singleflight: concurrent misses on the same key coalesce onto one
+//     solve; the waiters share the leader's result.
+//   - LRU bounding: each shard evicts least-recently-used entries past
+//     its capacity, so the cache's footprint is fixed.
+//
+// A zero resolution disables quantization: budgets key by exact bit
+// pattern, which keeps results bit-identical to the uncached path while
+// still deduplicating exactly-equal solves.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Cache memoizes solve results. It is safe for concurrent use by any
+// number of goroutines; a single Cache is meant to be shared by a whole
+// fleet of controllers.
+type Cache struct {
+	resolution float64
+	shards     []shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// key identifies one cached solve: the backend tag (different solver
+// backends must never serve each other's entries), the configuration
+// fingerprint, and the quantized budget (the quantization step when
+// resolution > 0, the raw float bits in exact mode).
+type key struct{ tag, cfg, budget uint64 }
+
+type entry struct {
+	k     key
+	alloc core.Allocation
+}
+
+// call is one in-flight solve that concurrent misses coalesce onto.
+type call struct {
+	done  chan struct{}
+	alloc core.Allocation
+	err   error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[key]*list.Element
+	lru      list.List // front = most recently used
+	inflight map[key]*call
+}
+
+// New creates a cache holding at most size entries (rounded up to shard
+// granularity) with the given budget quantization resolution in joules.
+// A zero resolution selects exact mode: no quantization, bit-identical
+// results, dedup only for exactly equal budgets.
+func New(size int, resolutionJ float64) (*Cache, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("cache: size %d must be positive", size)
+	}
+	if resolutionJ < 0 || math.IsNaN(resolutionJ) || math.IsInf(resolutionJ, 0) {
+		return nil, fmt.Errorf("cache: resolution %v J must be finite and non-negative", resolutionJ)
+	}
+	// Small caches get one shard so LRU order (and tests) stay exact;
+	// large ones spread lock contention across 16.
+	nshards := 16
+	if size < 4*nshards {
+		nshards = 1
+	}
+	per := (size + nshards - 1) / nshards
+	c := &Cache{resolution: resolutionJ, shards: make([]shard, nshards)}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].entries = make(map[key]*list.Element)
+		c.shards[i].inflight = make(map[key]*call)
+	}
+	return c, nil
+}
+
+// Resolution returns the budget quantization resolution in joules (zero
+// in exact mode).
+func (c *Cache) Resolution() float64 { return c.resolution }
+
+// maxExactStep bounds the quantization step that still converts to
+// uint64 exactly; budgets beyond it (absurd for this problem) fall back
+// to exact-bits keying.
+const maxExactStep = 1 << 53
+
+// quantize maps a non-negative budget onto its cache key component and
+// the representative budget actually solved. Quantization rounds DOWN so
+// the representative never exceeds the true budget.
+func (c *Cache) quantize(budget float64) (uint64, float64) {
+	if c.resolution <= 0 {
+		return math.Float64bits(budget), budget
+	}
+	step := math.Floor(budget / c.resolution)
+	if !(step >= 0 && step < maxExactStep) {
+		return math.Float64bits(budget), budget
+	}
+	return uint64(step), step * c.resolution
+}
+
+func (c *Cache) shardFor(k key) *shard {
+	h := k.tag ^ (k.cfg * 0x9e3779b97f4a7c15) ^ (k.budget * 0xff51afd7ed558ccd)
+	h ^= h >> 33
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Solve answers (tag, cfg, budget) from the cache, or computes it
+// through next at the quantized representative budget and caches the
+// result. tag names the backend identity: callers wrapping different
+// solver backends over one cache MUST pass distinct tags, or the
+// backends serve each other's allocations. Errors are never cached; a
+// miss whose leader fails propagates the failure to its coalesced
+// waiters, except that a leader's own cancellation makes still-live
+// waiters re-solve directly rather than inherit an unrelated context
+// error.
+func (c *Cache) Solve(ctx context.Context, tag uint64, next core.SolveFunc, cfg core.Config, budget float64) (core.Allocation, error) {
+	if math.IsNaN(budget) || budget < 0 {
+		// Invalid budgets bypass the cache so the backend produces its
+		// usual sentinel error.
+		return next(ctx, cfg, budget)
+	}
+	kb, qBudget := c.quantize(budget)
+	k := key{tag: tag, cfg: cfg.Fingerprint(), budget: kb}
+	sh := c.shardFor(k)
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		alloc := el.Value.(*entry).alloc
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return cloneAllocation(alloc), nil
+	}
+	if cl, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-cl.done:
+		case <-ctx.Done():
+			return core.Allocation{}, ctx.Err()
+		}
+		if cl.err != nil {
+			if ctx.Err() == nil && (errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
+				return next(ctx, cfg, qBudget)
+			}
+			return core.Allocation{}, cl.err
+		}
+		return cloneAllocation(cl.alloc), nil
+	}
+	cl := &call{done: make(chan struct{})}
+	sh.inflight[k] = cl
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	cl.alloc, cl.err = next(ctx, cfg, qBudget)
+
+	sh.mu.Lock()
+	delete(sh.inflight, k)
+	if cl.err == nil {
+		sh.insert(k, cl.alloc, &c.evictions)
+	}
+	sh.mu.Unlock()
+	close(cl.done)
+	if cl.err != nil {
+		return core.Allocation{}, cl.err
+	}
+	return cloneAllocation(cl.alloc), nil
+}
+
+// SolveFunc wraps a backend as a cache-reading core.SolveFunc, the shape
+// Controller.SetSolveFunc accepts. tag identifies the wrapped backend;
+// wrappers of distinct backends need distinct tags.
+func (c *Cache) SolveFunc(tag uint64, next core.SolveFunc) core.SolveFunc {
+	return func(ctx context.Context, cfg core.Config, budget float64) (core.Allocation, error) {
+		return c.Solve(ctx, tag, next, cfg, budget)
+	}
+}
+
+// insert adds a fresh entry and evicts past capacity. Caller holds sh.mu.
+func (sh *shard) insert(k key, alloc core.Allocation, evictions *atomic.Uint64) {
+	if el, ok := sh.entries[k]; ok {
+		// Another leader raced us between delete(inflight) and insert;
+		// keep the fresher value and the recency bump.
+		sh.lru.MoveToFront(el)
+		el.Value.(*entry).alloc = alloc
+		return
+	}
+	sh.entries[k] = sh.lru.PushFront(&entry{k: k, alloc: alloc})
+	for len(sh.entries) > sh.capacity {
+		oldest := sh.lru.Back()
+		if oldest == nil {
+			break
+		}
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*entry).k)
+		evictions.Add(1)
+	}
+}
+
+// cloneAllocation deep-copies the Active slice so no two callers (and
+// never the cache itself) share mutable state.
+func cloneAllocation(a core.Allocation) core.Allocation {
+	a.Active = append([]float64(nil), a.Active...)
+	return a
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups answered from a stored entry.
+	Hits uint64
+	// Misses counts lookups that ran the underlying solver as leader.
+	Misses uint64
+	// Coalesced counts lookups that joined another caller's in-flight
+	// solve instead of running their own (singleflight dedup).
+	Coalesced uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current number of stored solutions.
+	Entries int
+	// Capacity is the maximum number of stored solutions.
+	Capacity int
+}
+
+// HitRate returns the fraction of lookups served without a fresh solve
+// (hits plus coalesced over all lookups), or zero before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats snapshots the counters. The counters are read individually, so a
+// snapshot taken under concurrent traffic is approximate.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		s.Capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	return s
+}

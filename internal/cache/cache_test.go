@@ -1,0 +1,374 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func mustNew(t *testing.T, size int, res float64) *Cache {
+	t.Helper()
+	c, err := New(size, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct {
+		size int
+		res  float64
+	}{
+		{0, 0.001}, {-1, 0.001}, {16, -0.001}, {16, math.NaN()}, {16, math.Inf(1)},
+	} {
+		if _, err := New(tc.size, tc.res); err == nil {
+			t.Errorf("New(%d, %v) accepted", tc.size, tc.res)
+		}
+	}
+	if _, err := New(1, 0); err != nil {
+		t.Errorf("New(1, 0) rejected: %v", err)
+	}
+}
+
+func TestHitMissAndQuantizationSharing(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+
+	var solves atomic.Int32
+	counted := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		solves.Add(1)
+		return core.SolveContext(ctx, cfg, b)
+	}
+
+	// Budgets within one 1 mJ bucket share a single solve.
+	a1, err := c.Solve(ctx, 0, counted, cfg, 5.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Solve(ctx, 0, counted, cfg, 5.0009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("same-bucket budgets ran %d solves, want 1", got)
+	}
+	if a1.Objective(cfg) != a2.Objective(cfg) {
+		t.Fatal("same-bucket budgets returned different allocations")
+	}
+	// The representative budget is the bucket floor: both match an exact
+	// solve at 5.000 J.
+	want, err := core.Solve(cfg, 5.000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.Objective(cfg)-want.Objective(cfg)) > 1e-12 {
+		t.Fatalf("cached objective %v, want floor-budget objective %v", a1.Objective(cfg), want.Objective(cfg))
+	}
+
+	// The next bucket is a fresh solve.
+	if _, err := c.Solve(ctx, 0, counted, cfg, 5.0011); err != nil {
+		t.Fatal(err)
+	}
+	if got := solves.Load(); got != 2 {
+		t.Fatalf("next bucket ran %d solves total, want 2", got)
+	}
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses", s)
+	}
+}
+
+func TestExactModeDistinguishesBudgets(t *testing.T) {
+	c := mustNew(t, 64, 0)
+	cfg := core.DefaultConfig()
+	var solves atomic.Int32
+	counted := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		solves.Add(1)
+		return core.SolveContext(ctx, cfg, b)
+	}
+	ctx := context.Background()
+	if _, err := c.Solve(ctx, 0, counted, cfg, 5.0001); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, 0, counted, cfg, 5.0002); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, 0, counted, cfg, 5.0001); err != nil {
+		t.Fatal(err)
+	}
+	if got := solves.Load(); got != 2 {
+		t.Fatalf("exact mode ran %d solves, want 2 (one per distinct budget)", got)
+	}
+}
+
+// TestTagsDoNotShareEntries: two backends (tags) over one cache must
+// never serve each other's allocations, even at the same (cfg, budget).
+func TestTagsDoNotShareEntries(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+
+	// Backend B is deliberately wrong: it always returns an all-off
+	// schedule. If tags leaked, one backend would answer for the other.
+	allOff := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		return core.Allocation{Active: make([]float64, len(cfg.DPs)), Off: cfg.Period}, nil
+	}
+	simplexAlloc, err := c.Solve(ctx, 1, core.SolveContext, cfg, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offAlloc, err := c.Solve(ctx, 2, allOff, cfg, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simplexAlloc.Objective(cfg) == 0 {
+		t.Fatal("tag 1 served tag 2's backend")
+	}
+	if offAlloc.Objective(cfg) != 0 {
+		t.Fatal("tag 2 served tag 1's backend")
+	}
+	if s := c.Stats(); s.Misses != 2 || s.Hits != 0 {
+		t.Fatalf("stats %+v, want 2 misses (one per tag)", s)
+	}
+}
+
+func TestConfigsDoNotShareEntries(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	ctx := context.Background()
+	a := core.DefaultConfig()
+	b := core.DefaultConfig()
+	b.Alpha = 2
+
+	ra, err := c.Solve(ctx, 0, core.SolveContext, a, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c.Solve(ctx, 0, core.SolveContext, b, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, _ := core.Solve(a, 2.0)
+	wb, _ := core.Solve(b, 2.0)
+	if math.Abs(ra.Objective(a)-wa.Objective(a)) > 1e-12 || math.Abs(rb.Objective(b)-wb.Objective(b)) > 1e-12 {
+		t.Fatal("configurations with different alpha shared a cache entry")
+	}
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 misses for 2 configs", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// size 8 < 64 forces a single shard, so LRU order is exact.
+	c := mustNew(t, 8, 0.001)
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	var solves atomic.Int32
+	counted := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		solves.Add(1)
+		return core.SolveContext(ctx, cfg, b)
+	}
+
+	for i := 0; i < 10; i++ {
+		if _, err := c.Solve(ctx, 0, counted, cfg, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 8 || s.Capacity != 8 {
+		t.Fatalf("entries/capacity %d/%d, want 8/8", s.Entries, s.Capacity)
+	}
+	if s.Evictions != 2 {
+		t.Fatalf("%d evictions, want 2", s.Evictions)
+	}
+
+	// Budgets 0 and 1 were least recently used and must be gone; budget 9
+	// must still be resident.
+	solves.Store(0)
+	if _, err := c.Solve(ctx, 0, counted, cfg, 9); err != nil {
+		t.Fatal(err)
+	}
+	if solves.Load() != 0 {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, err := c.Solve(ctx, 0, counted, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if solves.Load() != 1 {
+		t.Fatal("least recently used entry survived past capacity")
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	release := make(chan struct{})
+	var solves atomic.Int32
+	blocking := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		solves.Add(1)
+		<-release
+		return core.SolveContext(ctx, cfg, b)
+	}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]core.Allocation, 1+waiters)
+	errs := make([]error, 1+waiters)
+	for i := 0; i < 1+waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Solve(context.Background(), 0, blocking, cfg, 5.0)
+		}(i)
+	}
+
+	// Wait until the leader is in the solver and every other caller has
+	// registered as a coalesced waiter, then release the solve.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Coalesced < waiters || solves.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats %+v after 5s, want %d coalesced waiters", c.Stats(), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("%d solves for %d concurrent callers, want 1", got, 1+waiters)
+	}
+	want := results[0].Objective(cfg)
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i].Objective(cfg) != want {
+			t.Fatalf("caller %d got a different allocation", i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != waiters {
+		t.Fatalf("stats %+v, want 1 miss and %d coalesced", s, waiters)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	boom := errors.New("transient solver failure")
+	fail := true
+	flaky := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		if fail {
+			return core.Allocation{}, boom
+		}
+		return core.SolveContext(ctx, cfg, b)
+	}
+	if _, err := c.Solve(ctx, 0, flaky, cfg, 3.0); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want the solver failure", err)
+	}
+	fail = false
+	if _, err := c.Solve(ctx, 0, flaky, cfg, 3.0); err != nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+	if s := c.Stats(); s.Entries != 1 || s.Misses != 2 {
+		t.Fatalf("stats %+v, want the failure uncached (2 misses, 1 entry)", s)
+	}
+}
+
+func TestInvalidBudgetsBypassCache(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	for _, b := range []float64{-1, math.NaN()} {
+		if _, err := c.Solve(ctx, 0, core.SolveContext, cfg, b); !errors.Is(err, core.ErrBudgetNegative) {
+			t.Fatalf("budget %v: err %v, want ErrBudgetNegative", b, err)
+		}
+	}
+	if s := c.Stats(); s.Hits+s.Misses+s.Coalesced != 0 || s.Entries != 0 {
+		t.Fatalf("invalid budgets touched the cache: %+v", s)
+	}
+}
+
+func TestReturnedAllocationsAreIsolated(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	a, err := c.Solve(ctx, 0, core.SolveContext, cfg, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Objective(cfg)
+	for i := range a.Active {
+		a.Active[i] = -1e9 // caller scribbles on its copy
+	}
+	b, err := c.Solve(ctx, 0, core.SolveContext, cfg, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Objective(cfg) != want {
+		t.Fatal("mutating a returned allocation corrupted the cached entry")
+	}
+}
+
+func TestWaiterHonoursOwnContext(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	release := make(chan struct{})
+	defer close(release)
+	blocking := func(ctx context.Context, cfg core.Config, b float64) (core.Allocation, error) {
+		<-release
+		return core.SolveContext(ctx, cfg, b)
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Solve(context.Background(), 0, blocking, cfg, 5.0)
+		leaderErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Misses < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Solve(ctx, 0, blocking, cfg, 5.0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveFuncWrapper(t *testing.T) {
+	c := mustNew(t, 64, 0.001)
+	cfg := core.DefaultConfig()
+	fn := c.SolveFunc(0, core.SolveContext)
+	if _, err := fn(context.Background(), cfg, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fn(context.Background(), cfg, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss through the wrapper", s)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate %v, want 0", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", r)
+	}
+}

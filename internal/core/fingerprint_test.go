@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := DefaultConfig(), DefaultConfig()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configurations hash differently")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := DefaultConfig()
+	mutate := map[string]func(c *Config){
+		"period": func(c *Config) { c.Period = 1800 },
+		"poff":   func(c *Config) { c.POff *= 2 },
+		"alpha":  func(c *Config) { c.Alpha = 2 },
+		"dp accuracy": func(c *Config) {
+			c.DPs = append([]DesignPoint(nil), c.DPs...)
+			c.DPs[0].Accuracy = 0.95
+		},
+		"dp power": func(c *Config) {
+			c.DPs = append([]DesignPoint(nil), c.DPs...)
+			c.DPs[2].Power *= 1.001
+		},
+		"dp dropped": func(c *Config) { c.DPs = c.DPs[:len(c.DPs)-1] },
+		"dp order": func(c *Config) {
+			c.DPs = append([]DesignPoint(nil), c.DPs...)
+			c.DPs[0], c.DPs[1] = c.DPs[1], c.DPs[0]
+		},
+	}
+	for name, f := range mutate {
+		c := base
+		f(&c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s change did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.DPs = append([]DesignPoint(nil), b.DPs...)
+	for i := range b.DPs {
+		b.DPs[i].Name = "renamed"
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("design-point names must not affect the fingerprint (they never reach the LP)")
+	}
+}

@@ -22,6 +22,12 @@ type settings struct {
 	batteryJ   float64
 	capacityJ  float64
 	workers    int
+
+	// solveCache is the shared solve cache, nil for uncached solving.
+	// cacheSet records that the caller chose explicitly (including
+	// WithoutSolveCache), which suppresses NewFleet's default cache.
+	solveCache *SolveCache
+	cacheSet   bool
 }
 
 func defaultSettings() *settings {
@@ -40,13 +46,19 @@ func (s *settings) apply(opts []Option) error {
 	return nil
 }
 
-// resolveSolver returns the configured backend: an explicit
-// WithSolverBackend wins, otherwise the named registry entry.
-func (s *settings) resolveSolver() (Solver, error) {
+// resolveSolver returns the configured backend and its cache tag: an
+// explicit WithSolverBackend wins (anonymous tag — its identity is
+// unknowable), otherwise the named registry entry (tagged by name, so
+// shared caches dedup across constructions).
+func (s *settings) resolveSolver() (Solver, uint64, error) {
 	if s.solver != nil {
-		return s.solver, nil
+		return s.solver, anonymousTag(), nil
 	}
-	return LookupSolver(s.solverName)
+	solver, err := LookupSolver(s.solverName)
+	if err != nil {
+		return nil, 0, err
+	}
+	return solver, registryTag(s.solverName), nil
 }
 
 // WithConfig replaces the whole configuration, for callers that already
@@ -143,6 +155,47 @@ func WithBattery(chargeJ, capacityJ float64) Option {
 	}
 }
 
+// WithSolveCache installs a fresh solve cache holding at most size
+// entries, with budgets quantized down to resolutionJ joules so
+// near-identical devices share entries (zero resolution keys budgets
+// exactly — bit-identical results, dedup only). New, NewFleet and
+// SolveBatch route every solve through the cache; NewConfig ignores it.
+// NewFleet enables a DefaultCacheSize/DefaultCacheResolution cache even
+// without this option — see WithoutSolveCache for the exact-solve knob.
+func WithSolveCache(size int, resolutionJ float64) Option {
+	return func(s *settings) error {
+		sc, err := NewSolveCache(size, resolutionJ)
+		if err != nil {
+			return err
+		}
+		s.solveCache, s.cacheSet = sc, true
+		return nil
+	}
+}
+
+// WithSharedSolveCache installs an existing cache, sharing entries and
+// statistics across fleets, controllers and batches that solve the same
+// configurations.
+func WithSharedSolveCache(sc *SolveCache) Option {
+	return func(s *settings) error {
+		if sc == nil {
+			return fmt.Errorf("%w: nil solve cache", ErrInvalidConfig)
+		}
+		s.solveCache, s.cacheSet = sc, true
+		return nil
+	}
+}
+
+// WithoutSolveCache disables solve caching — the exact-solve fallback
+// for callers that need every budget solved bit-identically to the
+// uncached path (NewFleet otherwise caches by default).
+func WithoutSolveCache() Option {
+	return func(s *settings) error {
+		s.solveCache, s.cacheSet = nil, true
+		return nil
+	}
+}
+
 // WithWorkers bounds the worker pool a Fleet uses for StepAll. Zero (the
 // default) selects GOMAXPROCS. New and NewConfig ignore this option.
 func WithWorkers(n int) Option {
@@ -184,7 +237,7 @@ func New(opts ...Option) (*Controller, error) {
 	if err := s.apply(opts); err != nil {
 		return nil, err
 	}
-	solver, err := s.resolveSolver()
+	solver, tag, err := s.resolveSolver()
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +245,15 @@ func New(opts ...Option) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl.SetSolveFunc(solver.Solve)
+	ctl.SetSolveFunc(s.wrapSolveFunc(tag, solver.Solve))
 	return ctl, nil
+}
+
+// wrapSolveFunc routes fn through the configured solve cache, if any,
+// namespaced by the backend's cache tag.
+func (s *settings) wrapSolveFunc(tag uint64, fn core.SolveFunc) core.SolveFunc {
+	if s.solveCache == nil {
+		return fn
+	}
+	return s.solveCache.solveFunc(tag, fn)
 }

@@ -19,7 +19,10 @@
 //     configurations from functional options (WithDesignPoints,
 //     WithAlpha, WithPeriod, WithSolver, WithBattery, ...).
 //   - Fleet layer: Fleet steps many per-device sessions on a bounded
-//     worker pool; SolveBatch is its stateless counterpart.
+//     worker pool; SolveBatch is its stateless counterpart. Fleets share
+//     a solve cache (SolveCache) that quantizes budgets so near-identical
+//     devices reuse one LP solution, with singleflight dedup for
+//     concurrent misses.
 //
 // # Quick start
 //
@@ -44,10 +47,14 @@
 //
 // # Fleets
 //
-// Fleet coordinates many devices from one process:
+// Fleet coordinates many devices from one process. By default it shares
+// one solve cache across all devices — budgets quantize down to 1 mJ so
+// devices under near-identical harvesting conditions reuse one LP
+// solution (WithoutSolveCache restores exact per-device solving):
 //
 //	fleet, _ := reap.NewFleet(1000, reap.WithBattery(20, 100))
 //	allocs, _ := fleet.StepAll(ctx, budgets) // budgets[i] for device i
+//	stats, _ := fleet.CacheStats()           // hits, misses, coalesced
 //
 // # Beyond the optimizer
 //

@@ -1,0 +1,101 @@
+package reap
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Defaults for the fleet solve cache (see NewFleet): room for sixteen
+// thousand distinct (config, budget) entries and a 1 mJ budget
+// resolution — fine enough that the worst-case objective loss for the
+// paper's configuration is below 2·10⁻⁴, coarse enough that devices in
+// the same harvesting conditions share entries.
+const (
+	DefaultCacheSize       = 1 << 14
+	DefaultCacheResolution = 1e-3
+)
+
+// CacheStats is a point-in-time snapshot of a SolveCache's counters:
+// hits, misses, singleflight-coalesced lookups, LRU evictions, and the
+// current entry count against capacity.
+type CacheStats = cache.Stats
+
+// SolveCache memoizes solver results across devices: a sharded,
+// LRU-bounded, singleflight-deduplicated cache keyed by a canonical
+// configuration fingerprint and a quantized energy budget.
+//
+// Budgets are quantized DOWN to the cache's resolution, so a cached
+// allocation never consumes more energy than the caller's true budget,
+// and its objective is within resolution · max_i aᵢ^α/(TP·(Pᵢ−Poff)) of
+// the exact optimum (the LP's value function is concave in the budget,
+// so the initial marginal value bounds every segment). Callers that need
+// bit-identical results use a zero resolution — exact budget keys, dedup
+// only — or disable caching entirely with WithoutSolveCache.
+//
+// A single SolveCache is safe for concurrent use and is meant to be
+// shared: every controller in a fleet, or several fleets with the same
+// configuration, hit one cache (WithSharedSolveCache).
+type SolveCache struct {
+	c *cache.Cache
+}
+
+// NewSolveCache creates a cache holding at most size entries with the
+// given budget quantization resolution in joules (zero for exact mode).
+func NewSolveCache(size int, resolutionJ float64) (*SolveCache, error) {
+	c, err := cache.New(size, resolutionJ)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return &SolveCache{c: c}, nil
+}
+
+// Stats snapshots the cache counters.
+func (sc *SolveCache) Stats() CacheStats { return sc.c.Stats() }
+
+// Resolution returns the budget quantization resolution in joules (zero
+// in exact mode).
+func (sc *SolveCache) Resolution() float64 { return sc.c.Resolution() }
+
+// Cache entries are additionally keyed by a backend tag so that
+// different solver backends sharing one cache never serve each other's
+// allocations. Registry-named backends tag by name — stable across
+// fleets, batches and processes, so sharing works wherever the name
+// matches. Anonymous backends (WithSolverBackend, Wrap) get a fresh
+// unique tag, trading cross-instance sharing for correctness.
+var anonymousTagCounter atomic.Uint64
+
+func solverTag(scope string, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(scope))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+func registryTag(name string) uint64 { return solverTag("registry", name) }
+
+func anonymousTag() uint64 {
+	return solverTag("anon", fmt.Sprint(anonymousTagCounter.Add(1)))
+}
+
+// Wrap decorates a solver backend with this cache. The wrapped Solver is
+// safe for concurrent use (given s is) and can be registered under its
+// own name or installed via WithSolverBackend. Each Wrap call namespaces
+// its entries separately — wrap a backend once and reuse the wrapped
+// Solver, rather than wrapping per call site.
+func (sc *SolveCache) Wrap(s Solver) Solver {
+	return sc.wrapTagged(anonymousTag(), s)
+}
+
+func (sc *SolveCache) wrapTagged(tag uint64, s Solver) Solver {
+	return SolverFunc(sc.c.SolveFunc(tag, s.Solve))
+}
+
+// solveFunc wraps a core.SolveFunc for controller wiring.
+func (sc *SolveCache) solveFunc(tag uint64, next core.SolveFunc) core.SolveFunc {
+	return sc.c.SolveFunc(tag, next)
+}

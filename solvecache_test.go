@@ -1,0 +1,191 @@
+package reap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomConfig draws a valid configuration: 1-8 design points with
+// random accuracy/power and a random α, the space the cache must stay
+// correct over.
+func randomConfig(rng *rand.Rand) Config {
+	n := 1 + rng.Intn(8)
+	dps := make([]DesignPoint, n)
+	for i := range dps {
+		dps[i] = DesignPoint{
+			Name:     fmt.Sprintf("dp%d", i+1),
+			Accuracy: 0.05 + 0.95*rng.Float64(),
+			Power:    DefaultPOff + 1e-4 + 5e-3*rng.Float64(),
+		}
+	}
+	return Config{
+		Period: DefaultPeriod,
+		POff:   DefaultPOff,
+		Alpha:  []float64{0, 0.5, 1, 2}[rng.Intn(4)],
+		DPs:    dps,
+	}
+}
+
+// TestSolveCachePropertyFeasibleAndBounded is the cache's correctness
+// property: over random configurations, resolutions and budgets, a
+// cached allocation (1) never spends more energy than the true budget,
+// (2) loses at most resolution·maxslope objective versus the exact
+// solve, and (3) still fills the whole period.
+func TestSolveCachePropertyFeasibleAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	exact := LookupSolverMust(t, SolverSimplex)
+
+	for trial := 0; trial < 150; trial++ {
+		cfg := randomConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		resolution := []float64{1e-3, 1e-2, 0.1}[rng.Intn(3)]
+		sc, err := NewSolveCache(64, resolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached := sc.Wrap(exact)
+		bound := resolution*maxMarginalValue(cfg) + 1e-9
+
+		maxBudget := 1.2 * cfg.MaxUsefulBudget()
+		for k := 0; k < 20; k++ {
+			budget := maxBudget * rng.Float64()
+			got, err := cached.Solve(ctx, cfg, budget)
+			if err != nil {
+				t.Fatalf("trial %d budget %v: %v", trial, budget, err)
+			}
+			want, err := exact.Solve(ctx, cfg, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if energy := got.Energy(cfg); energy > budget+1e-9 {
+				t.Fatalf("trial %d: cached allocation spends %v J of a %v J budget (infeasible)",
+					trial, energy, budget)
+			}
+			loss := want.Objective(cfg) - got.Objective(cfg)
+			if loss > bound || loss < -1e-9 {
+				t.Fatalf("trial %d budget %v res %v: objective loss %v outside [0, %v]",
+					trial, budget, resolution, loss, bound)
+			}
+			if math.Abs(got.Total()-cfg.Period) > 1e-6 {
+				t.Fatalf("trial %d: cached allocation covers %v s of a %v s period",
+					trial, got.Total(), cfg.Period)
+			}
+		}
+	}
+}
+
+// TestSolveCacheExactModeBitIdentical: a zero resolution must reproduce
+// the uncached path bit for bit.
+func TestSolveCacheExactModeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	exact := LookupSolverMust(t, SolverSimplex)
+	sc, err := NewSolveCache(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := sc.Wrap(exact)
+	cfg, err := NewConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		budget := 11 * rng.Float64()
+		got, err := cached.Solve(ctx, cfg, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exact.Solve(ctx, cfg, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Off != want.Off || got.Dead != want.Dead {
+			t.Fatalf("budget %v: exact-mode cache diverged", budget)
+		}
+		for i := range want.Active {
+			if got.Active[i] != want.Active[i] {
+				t.Fatalf("budget %v: exact-mode cache diverged on dp%d", budget, i+1)
+			}
+		}
+	}
+}
+
+func TestNewSolveCacheValidation(t *testing.T) {
+	for _, tc := range []struct {
+		size int
+		res  float64
+	}{{0, 1e-3}, {-4, 1e-3}, {64, -1}, {64, math.NaN()}} {
+		if _, err := NewSolveCache(tc.size, tc.res); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("NewSolveCache(%d, %v): err %v, want ErrInvalidConfig", tc.size, tc.res, err)
+		}
+	}
+}
+
+func TestWithSolveCacheOptions(t *testing.T) {
+	if _, err := New(WithSolveCache(0, 1e-3)); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("bad cache size: err %v, want ErrInvalidConfig", err)
+	}
+	if _, err := New(WithSharedSolveCache(nil)); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("nil shared cache: err %v, want ErrInvalidConfig", err)
+	}
+
+	// A controller built with a shared cache reports its traffic there.
+	sc, err := NewSolveCache(128, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(WithSharedSolveCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ctl.Step(5.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := sc.Stats()
+	if stats.Misses != 1 || stats.Hits != 2 {
+		t.Fatalf("stats %+v, want 1 miss + 2 hits for three identical steps", stats)
+	}
+
+	// Later options override earlier ones.
+	fleet, err := NewFleet(2, WithSharedSolveCache(sc), WithoutSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fleet.CacheStats(); ok {
+		t.Fatal("WithoutSolveCache did not override the shared cache")
+	}
+}
+
+// TestFleetsShareOneCache: two fleets on one shared cache never solve
+// the same bucket twice.
+func TestFleetsShareOneCache(t *testing.T) {
+	ctx := context.Background()
+	sc, err := NewSolveCache(1024, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []float64{2, 4, 6, 8}
+	for fleetNo := 0; fleetNo < 2; fleetNo++ {
+		fleet, err := NewFleet(len(budgets), WithSharedSolveCache(sc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fleet.StepAll(ctx, budgets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := sc.Stats()
+	if stats.Misses != uint64(len(budgets)) {
+		t.Fatalf("%d LP solves across two fleets, want %d (one per distinct budget)",
+			stats.Misses, len(budgets))
+	}
+}

@@ -12,7 +12,9 @@ import (
 // Solver is one optimizer backend: it maps a configuration and an energy
 // budget for one activity period onto a time allocation. Implementations
 // must be safe for concurrent use — the Fleet and SolveBatch layers call
-// a single Solver from many goroutines.
+// a single Solver from many goroutines. Decorators compose at this seam:
+// SolveCache.Wrap returns a caching Solver that can itself be registered
+// under a new name.
 type Solver interface {
 	Solve(ctx context.Context, cfg Config, budget float64) (Allocation, error)
 }
