@@ -32,9 +32,10 @@ type Fleet struct {
 }
 
 // NewFleet creates n controller sessions from the same options New
-// accepts, plus WithWorkers to bound StepAll's concurrency. Unless the
-// options say otherwise, the fleet gets a shared solve cache of
-// DefaultCacheSize entries at DefaultCacheResolution.
+// accepts, plus WithWorkers to bound StepAll's concurrency and
+// WithDeviceOverride to vary settings per device. Unless the options say
+// otherwise, the fleet gets a shared solve cache of DefaultCacheSize
+// entries at DefaultCacheResolution.
 func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: fleet size %d must be positive", ErrInvalidConfig, n)
@@ -57,11 +58,30 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	solve := s.wrapSolveFunc(tag, solver.Solve)
 	f := &Fleet{ctls: make([]*Controller, n), workers: s.workers, cache: s.solveCache}
 	for i := range f.ctls {
-		ctl, err := core.NewController(s.cfg, s.batteryJ, s.capacityJ)
+		ds, dsolve := s, solve
+		if s.deviceOverride != nil {
+			// Copy the fleet-wide settings and refine them with the
+			// device's own options. The copy shares the design-point slice
+			// with the base, which is safe: every option that changes
+			// design points replaces the slice rather than mutating it.
+			dv := *s
+			if err := dv.apply(s.deviceOverride(i)); err != nil {
+				return nil, fmt.Errorf("device %d: %w", i, err)
+			}
+			dSolver, dTag, err := dv.resolveSolver()
+			if err != nil {
+				return nil, fmt.Errorf("device %d: %w", i, err)
+			}
+			ds, dsolve = &dv, dv.wrapSolveFunc(dTag, dSolver.Solve)
+		}
+		ctl, err := core.NewController(ds.cfg, ds.batteryJ, ds.capacityJ)
 		if err != nil {
+			if s.deviceOverride != nil {
+				err = fmt.Errorf("device %d: %w", i, err)
+			}
 			return nil, err
 		}
-		ctl.SetSolveFunc(solve)
+		ctl.SetSolveFunc(dsolve)
 		f.ctls[i] = ctl
 	}
 	return f, nil
@@ -140,6 +160,70 @@ func (f *Fleet) ReportAll(consumed []float64) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// HarvestSource feeds a fleet's closed loop: for each step it fills
+// dst[i] with the energy budget (J) device i's harvesting subsystem
+// makes available for the period. Implementations range from replaying
+// a recorded trace to the sim package's solar-plus-forecast composition.
+type HarvestSource interface {
+	Budgets(step int, dst []float64) error
+}
+
+// ConsumptionModel closes a fleet's feedback loop: after the fleet plans
+// step, it fills dst[i] with the energy (J) device i actually consumed
+// executing allocs[i] — planned energy plus whatever execution noise,
+// activity dependence or faults the model simulates.
+type ConsumptionModel interface {
+	Consumed(step int, allocs []Allocation, dst []float64) error
+}
+
+// StepObserver sees each completed loop iteration: the step index, the
+// budgets handed to the fleet, the allocations it planned, and the
+// consumption reported back. The slices are reused across steps — copy
+// what must outlive the call.
+type StepObserver func(step int, budgets []float64, allocs []Allocation, consumed []float64) error
+
+// Run drives the fleet closed-loop for steps periods: each iteration
+// asks src for budgets, plans with StepAll, asks model for the realized
+// consumption, and reports it back with ReportAll. observe (optional)
+// sees every completed iteration. Run stops at the first error — a
+// source or model failure, a failed device step, or context
+// cancellation — identifying the step it happened on.
+//
+// Run is the seam the sim package builds on; any caller with a harvest
+// trace and a consumption model gets the same multi-period loop the
+// paper evaluates, without hand-rolling the bookkeeping.
+func (f *Fleet) Run(ctx context.Context, steps int, src HarvestSource, model ConsumptionModel, observe StepObserver) error {
+	if steps < 0 {
+		return fmt.Errorf("%w: %d steps must be non-negative", ErrInvalidConfig, steps)
+	}
+	if src == nil || model == nil {
+		return fmt.Errorf("%w: Run needs a harvest source and a consumption model", ErrInvalidConfig)
+	}
+	budgets := make([]float64, len(f.ctls))
+	consumed := make([]float64, len(f.ctls))
+	for step := 0; step < steps; step++ {
+		if err := src.Budgets(step, budgets); err != nil {
+			return fmt.Errorf("step %d: harvest source: %w", step, err)
+		}
+		allocs, err := f.StepAll(ctx, budgets)
+		if err != nil {
+			return fmt.Errorf("step %d: %w", step, err)
+		}
+		if err := model.Consumed(step, allocs, consumed); err != nil {
+			return fmt.Errorf("step %d: consumption model: %w", step, err)
+		}
+		if err := f.ReportAll(consumed); err != nil {
+			return fmt.Errorf("step %d: %w", step, err)
+		}
+		if observe != nil {
+			if err := observe(step, budgets, allocs, consumed); err != nil {
+				return fmt.Errorf("step %d: observer: %w", step, err)
+			}
+		}
+	}
+	return nil
 }
 
 // run executes work(0..n-1) on the fleet's worker pool, stopping early

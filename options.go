@@ -28,6 +28,10 @@ type settings struct {
 	// WithoutSolveCache), which suppresses NewFleet's default cache.
 	solveCache *SolveCache
 	cacheSet   bool
+
+	// deviceOverride refines settings per device when NewFleet builds a
+	// heterogeneous fleet; nil means every device is identical.
+	deviceOverride func(device int) []Option
 }
 
 func defaultSettings() *settings {
@@ -192,6 +196,35 @@ func WithSharedSolveCache(sc *SolveCache) Option {
 func WithoutSolveCache() Option {
 	return func(s *settings) error {
 		s.solveCache, s.cacheSet = nil, true
+		return nil
+	}
+}
+
+// WithDeviceOverride makes a fleet heterogeneous: when NewFleet builds
+// device i it first applies the fleet-wide options, then the options
+// override(i) returns — so a scenario can give half the fleet a bigger
+// battery, a different α, or a reduced design-point set while the rest
+// keep the defaults:
+//
+//	fleet, _ := reap.NewFleet(100,
+//	    reap.WithBattery(20, 100),
+//	    reap.WithDeviceOverride(func(i int) []reap.Option {
+//	        if i%2 == 0 {
+//	            return []reap.Option{reap.WithAlpha(2)}
+//	        }
+//	        return nil
+//	    }))
+//
+// The fleet-level solve cache stays shared across all devices unless an
+// override replaces it; devices whose overrides change the Config simply
+// occupy distinct cache keys (the cache is keyed by a configuration
+// fingerprint). New, NewConfig and SolveBatch ignore this option.
+func WithDeviceOverride(override func(device int) []Option) Option {
+	return func(s *settings) error {
+		if override == nil {
+			return fmt.Errorf("%w: nil device override", ErrInvalidConfig)
+		}
+		s.deviceOverride = override
 		return nil
 	}
 }

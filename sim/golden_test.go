@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden traces instead of comparing against
+// them:
+//
+//	go test ./sim -run TestGoldenTraces -update
+//
+// Commit the regenerated files with the change that moved them, and say
+// why the trace moved in the commit message — a golden diff is a
+// behavior diff.
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestGoldenTraces locks every library scenario's trace down
+// byte-for-byte. Any change to the solvers, the cache, the controller
+// accounting, the harvest/consumption models or the trace encoding
+// shows up here as a diff against testdata/<scenario>.golden.
+//
+// The goldens are generated on amd64 (Go's portable math, no fused
+// multiply-add); the fixed-point trace encoding leaves ~5·10⁻⁷ of
+// headroom before a last-bit arithmetic difference could flip a digit.
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range Library() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Trace.Bytes()
+			path := filepath.Join("testdata", sc.Name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trace diverged from %s:\n%s", path, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of two trace encodings.
+func firstDiff(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d lines", len(g), len(w))
+}
+
+// TestGoldenCoversLibrary fails when a scenario is added to the library
+// without a checked-in golden, or a stale golden lingers after a rename.
+func TestGoldenCoversLibrary(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	want := map[string]bool{}
+	for _, sc := range Library() {
+		want[sc.Name+".golden"] = true
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !want[e.Name()] {
+			t.Errorf("stale golden %s has no library scenario", e.Name())
+		}
+		delete(want, e.Name())
+	}
+	for name := range want {
+		t.Errorf("scenario %s has no checked-in golden", name)
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Summary aggregates a run into the closed-loop metrics the paper's
+// claims are about. All energies are joules summed over the whole fleet
+// and horizon.
+type Summary struct {
+	Devices, Steps int
+
+	// TotalHarvestJ is the energy actually harvested; TotalBudgetJ what
+	// the controllers were told (differs under forecast-driven budgets);
+	// TotalPlannedJ what the plans would consume; TotalConsumedJ what
+	// execution drew.
+	TotalHarvestJ, TotalBudgetJ, TotalPlannedJ, TotalConsumedJ float64
+
+	// BatteryStartJ and BatteryEndJ are fleet-wide battery charge at the
+	// horizon ends.
+	BatteryStartJ, BatteryEndJ float64
+
+	// NeutralityError is the relative residual of the controllers'
+	// energy ledger, |budget − consumed − Δbattery| / budget: zero for a
+	// perfectly energy-neutral run; growing with battery-overflow
+	// losses, brownout clamping and end-of-horizon accounting carry.
+	NeutralityError float64
+
+	// MeanAccuracy and MeanUtility average the per-device-hour expected
+	// accuracy and its fault-degraded counterpart. ActiveFraction and
+	// DeadFraction are time shares of the whole fleet-horizon.
+	MeanAccuracy, MeanUtility    float64
+	ActiveFraction, DeadFraction float64
+
+	// FaultCount is the number of injected fault episodes.
+	FaultCount int
+
+	// CacheHitRate is the shared solve cache's hit rate (hits plus
+	// coalesced over lookups); -1 when the scenario ran uncached.
+	CacheHitRate float64
+
+	// Elapsed and StepsPerSec measure wall-clock performance
+	// (device-steps per second). Nondeterministic — excluded from golden
+	// comparisons.
+	Elapsed     time.Duration
+	StepsPerSec float64
+}
+
+// summarize computes the run metrics from the trace and battery
+// endpoints.
+func summarize(res *Result, batteryStart, batteryEnd float64, elapsed time.Duration) Summary {
+	t := res.Trace
+	s := Summary{
+		Devices:       t.Devices,
+		Steps:         t.Steps,
+		BatteryStartJ: batteryStart,
+		BatteryEndJ:   batteryEnd,
+		CacheHitRate:  -1,
+		Elapsed:       elapsed,
+	}
+	var periodTotal float64
+	for i := range t.Records {
+		r := &t.Records[i]
+		s.TotalHarvestJ += r.HarvestJ
+		s.TotalBudgetJ += r.BudgetJ
+		s.TotalPlannedJ += r.PlannedJ
+		s.TotalConsumedJ += r.ConsumedJ
+		s.MeanAccuracy += r.Accuracy
+		s.MeanUtility += r.Utility
+		if r.Fault != "none" {
+			s.FaultCount++
+		}
+		var active float64
+		for _, a := range r.Active {
+			active += a
+		}
+		s.ActiveFraction += active
+		s.DeadFraction += r.DeadS
+		periodTotal += res.Configs[r.Device].Period
+	}
+	if n := len(t.Records); n > 0 {
+		s.MeanAccuracy /= float64(n)
+		s.MeanUtility /= float64(n)
+	}
+	if periodTotal > 0 {
+		s.ActiveFraction /= periodTotal
+		s.DeadFraction /= periodTotal
+	}
+	if s.TotalBudgetJ > 0 {
+		s.NeutralityError = math.Abs(s.TotalBudgetJ-s.TotalConsumedJ-(batteryEnd-batteryStart)) / s.TotalBudgetJ
+	}
+	if res.CacheStats != nil {
+		s.CacheHitRate = res.CacheStats.HitRate()
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.StepsPerSec = float64(len(t.Records)) / sec
+	}
+	return s
+}
+
+// String renders the summary as a small human-readable report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "devices=%d steps=%d (%d device-hours)\n", s.Devices, s.Steps, s.Devices*s.Steps)
+	fmt.Fprintf(&b, "energy: harvested=%.2f J budgeted=%.2f J planned=%.2f J consumed=%.2f J\n",
+		s.TotalHarvestJ, s.TotalBudgetJ, s.TotalPlannedJ, s.TotalConsumedJ)
+	fmt.Fprintf(&b, "battery: %.2f J -> %.2f J   neutrality error=%.4f\n",
+		s.BatteryStartJ, s.BatteryEndJ, s.NeutralityError)
+	fmt.Fprintf(&b, "quality: accuracy=%.4f utility=%.4f active=%.1f%% dead=%.1f%% faults=%d\n",
+		s.MeanAccuracy, s.MeanUtility, 100*s.ActiveFraction, 100*s.DeadFraction, s.FaultCount)
+	if s.CacheHitRate >= 0 {
+		fmt.Fprintf(&b, "cache: hit rate=%.1f%%\n", 100*s.CacheHitRate)
+	}
+	fmt.Fprintf(&b, "perf: %s elapsed, %.0f device-steps/sec", s.Elapsed.Round(time.Millisecond), s.StepsPerSec)
+	return b.String()
+}

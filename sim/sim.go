@@ -1,0 +1,511 @@
+// Package sim is a deterministic, seedable scenario simulator for fleets
+// of REAP devices: the closed loop the paper evaluates (harvest → solve →
+// execute → report), scaled to N devices over multi-day horizons and made
+// reproducible enough to diff byte-for-byte.
+//
+// A Scenario composes the repository's models end to end:
+//
+//   - internal/solar synthesizes the hourly harvest trace (clear-sky
+//     geometry × Markov weather × cell model), scaled and jittered per
+//     device;
+//   - internal/forecast optionally turns the trace into EWMA-predicted
+//     budgets, so devices plan on forecasts and absorb prediction error
+//     through the controller's accounting loop;
+//   - internal/synth streams per-device activity timelines whose hourly
+//     intensity modulates realized consumption, plus injected sensor
+//     faults with documented energy/utility effects;
+//   - internal/energy prices the hourly fleet-telemetry BLE upload that
+//     rides on top of every powered device's consumption;
+//   - the public Fleet drives one Controller per device through
+//     StepAll/ReportAll via the Fleet.Run closed-loop seam.
+//
+// Determinism: every random draw derives from Scenario.Seed through
+// per-device, per-purpose sub-streams consumed in a fixed order, and the
+// LP backends and solve cache are deterministic (the cache solves the
+// quantized representative budget, so results do not depend on which
+// device populated an entry). Two runs of the same scenario therefore
+// produce byte-identical traces — the property the golden-trace harness
+// in this package's tests locks down. Goldens are regenerated with
+// `go test ./sim -run TestGolden -update`.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/energy"
+	"repro/internal/forecast"
+	"repro/internal/solar"
+	"repro/internal/synth"
+)
+
+// Scenario describes one deterministic simulation: the fleet, the
+// harvest climate, the controller configuration, and the execution
+// realism knobs. The zero value is not runnable; start from a library
+// scenario (Library, Lookup) or fill the fields and let Run apply the
+// documented defaults.
+type Scenario struct {
+	// Name identifies the scenario in traces and reports.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+
+	// Devices is the fleet size; Days the simulated horizon. Each day is
+	// 24 hourly activity periods.
+	Devices, Days int
+	// Seed derives every random stream in the run.
+	Seed int64
+
+	// Month and Year select the solar trace (internal/solar's Golden, CO
+	// climate; the year seeds the Markov weather).
+	Month, Year int
+	// HarvestScale scales every hourly harvest (default 1). DeviceJitter
+	// spreads a per-device multiplicative factor uniformly in
+	// [1-j, 1+j]; zero gives every device an identical harvest, the
+	// correlated-budget regime the solve cache exploits.
+	HarvestScale, DeviceJitter float64
+
+	// Alpha, BatteryJ, CapacityJ configure every controller (refine per
+	// device with PerDevice). Solver names the registry backend
+	// (default simplex); Workers bounds StepAll's pool (0 = GOMAXPROCS).
+	Alpha               float64
+	BatteryJ, CapacityJ float64
+	Solver              string
+	Workers             int
+
+	// Cache routes solves through a shared solve cache of CacheSize
+	// entries (default reap.DefaultCacheSize) at CacheResolutionJ
+	// (default reap.DefaultCacheResolution; negative selects the
+	// cache's exact mode — no quantization, bit-identical to uncached,
+	// dedup only). Without Cache the fleet solves exactly, uncached.
+	Cache            bool
+	CacheSize        int
+	CacheResolutionJ float64
+
+	// Forecast plans each budget from an EWMA prediction of the hour's
+	// harvest (internal/forecast, per device) instead of the actual
+	// value; the first day warms the predictor up on actuals.
+	Forecast       bool
+	ForecastLambda float64
+
+	// Noise is the relative standard deviation of execution noise on
+	// consumed energy. FaultRate is the per-device-hour probability of a
+	// sensor fault episode (internal/synth's failure modes) with the
+	// energy/utility effects documented at faultEffect. TelemetryBytes
+	// is the hourly fleet-telemetry BLE payload every powered device
+	// uploads (internal/energy's radio model; default 24 bytes).
+	Noise, FaultRate float64
+	TelemetryBytes   int
+
+	// FlatConsumption makes execution exact: consumed = planned energy
+	// (+ telemetry), no activity modulation, noise or faults. Used by
+	// cache-correlation scenarios, where divergent consumption would
+	// decorrelate budgets, and by differential baselines.
+	FlatConsumption bool
+
+	// PerDevice refines device i's options after the fleet-wide ones
+	// (reap.WithDeviceOverride) — mixed-α, mixed-battery or
+	// mixed-backend fleets.
+	PerDevice func(device int) []reap.Option
+}
+
+// withDefaults fills the zero-value knobs with the documented defaults.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.HarvestScale == 0 {
+		sc.HarvestScale = 1
+	}
+	if sc.Alpha == 0 {
+		sc.Alpha = 1
+	}
+	if sc.Solver == "" {
+		sc.Solver = reap.SolverSimplex
+	}
+	if sc.CacheSize == 0 {
+		sc.CacheSize = reap.DefaultCacheSize
+	}
+	if sc.CacheResolutionJ == 0 {
+		sc.CacheResolutionJ = reap.DefaultCacheResolution
+	}
+	if sc.ForecastLambda == 0 {
+		sc.ForecastLambda = 0.5
+	}
+	if sc.TelemetryBytes == 0 {
+		sc.TelemetryBytes = 24
+	}
+	return sc
+}
+
+// Validate checks the scenario after defaults are applied.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("sim: scenario needs a name")
+	}
+	if sc.Devices <= 0 {
+		return fmt.Errorf("sim: %s: %d devices must be positive", sc.Name, sc.Devices)
+	}
+	if sc.Month < 1 || sc.Month > 12 {
+		return fmt.Errorf("sim: %s: month %d outside 1..12", sc.Name, sc.Month)
+	}
+	if sc.Days <= 0 || sc.Days > solar.DaysInMonth(sc.Month) {
+		return fmt.Errorf("sim: %s: %d days outside 1..%d (month %d)",
+			sc.Name, sc.Days, solar.DaysInMonth(sc.Month), sc.Month)
+	}
+	if sc.HarvestScale <= 0 || math.IsNaN(sc.HarvestScale) || math.IsInf(sc.HarvestScale, 0) {
+		return fmt.Errorf("sim: %s: harvest scale %v must be positive and finite", sc.Name, sc.HarvestScale)
+	}
+	if sc.DeviceJitter < 0 || sc.DeviceJitter >= 1 || math.IsNaN(sc.DeviceJitter) {
+		return fmt.Errorf("sim: %s: device jitter %v outside [0,1)", sc.Name, sc.DeviceJitter)
+	}
+	if sc.Noise < 0 || math.IsNaN(sc.Noise) {
+		return fmt.Errorf("sim: %s: noise %v must be non-negative", sc.Name, sc.Noise)
+	}
+	if sc.FaultRate < 0 || sc.FaultRate > 1 || math.IsNaN(sc.FaultRate) {
+		return fmt.Errorf("sim: %s: fault rate %v outside [0,1]", sc.Name, sc.FaultRate)
+	}
+	if sc.TelemetryBytes < 0 {
+		return fmt.Errorf("sim: %s: telemetry payload %d must be non-negative", sc.Name, sc.TelemetryBytes)
+	}
+	return nil
+}
+
+// Result bundles one run's outputs: the fully-defaulted scenario, the
+// per-step trace, summary metrics, each device's resolved configuration
+// (needed to evaluate allocations from the trace), and the solve-cache
+// statistics when the scenario caches.
+type Result struct {
+	Scenario   Scenario
+	Trace      *Trace
+	Summary    Summary
+	Configs    []reap.Config
+	CacheStats *reap.CacheStats
+}
+
+// Sub-stream salts: each randomized concern draws from its own
+// deterministic stream so adding draws to one never perturbs another.
+const (
+	saltJitter = iota + 1
+	saltTimeline
+	saltNoise
+	saltFault
+)
+
+// subSeed derives a per-device, per-purpose seed from the scenario seed
+// (splitmix64 finalizer — consecutive inputs map to well-spread outputs).
+func subSeed(seed int64, device int, salt int64) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(device+1) + 0xbf58476d1ce4e5b9*uint64(salt)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// activityIntensity maps each synth activity class onto a motion-
+// intensity coefficient in [0,1]; an hour's mean intensity modulates the
+// consumption model (vigorous hours cost slightly more: extra interrupt
+// handling and BLE retransmissions under motion artifacts).
+var activityIntensity = [synth.NumActivities]float64{
+	synth.Sit:        0.08,
+	synth.Stand:      0.15,
+	synth.Walk:       0.60,
+	synth.Jump:       1.00,
+	synth.Drive:      0.30,
+	synth.LieDown:    0.02,
+	synth.Transition: 0.45,
+}
+
+// faultEffect returns the consumption and utility multipliers of a fault
+// episode lasting one activity period:
+//
+//   - StuckAxis: energy unchanged, recognition degraded (one axis lies).
+//   - Dropout: the bus stall browns the period out partway — both
+//     consumption and useful output are cut roughly in half.
+//   - SpikeNoise: connector chatter re-triggers processing (slightly
+//     more energy) and corrupts windows (less utility).
+//   - StretchDetached: energy unchanged, stretch-dependent accuracy lost.
+func faultEffect(f synth.Fault) (consumedScale, utilityScale float64) {
+	switch f {
+	case synth.StuckAxis:
+		return 1.00, 0.85
+	case synth.Dropout:
+		return 0.55, 0.50
+	case synth.SpikeNoise:
+		return 1.08, 0.90
+	case synth.StretchDetached:
+		return 1.00, 0.80
+	default:
+		return 1, 1
+	}
+}
+
+// simulator holds one run's state; it implements reap.HarvestSource and
+// reap.ConsumptionModel, and records the trace from the step observer.
+type simulator struct {
+	sc    Scenario
+	fleet *reap.Fleet
+	cfgs  []reap.Config
+
+	hours []float64 // scenario-scaled hourly harvest, shared across devices
+	skies []solar.Sky
+
+	jitter    []float64
+	ewma      []*forecast.EWMA
+	timelines []*synth.Timeline
+	noiseRng  []*rand.Rand
+	faultRng  []*rand.Rand
+
+	telemetryJ float64
+
+	// Per-step scratch, filled by Budgets/Consumed and read by observe.
+	actual    []float64
+	intensity []float64
+	faults    []synth.Fault
+
+	records []StepRecord
+}
+
+// Budgets implements reap.HarvestSource: actual harvest is the shared
+// solar hour scaled per device; the budget handed to the fleet is either
+// that actual value or, under Forecast, the device's EWMA prediction
+// (actuals warm the predictor up during the first day).
+func (s *simulator) Budgets(step int, dst []float64) error {
+	h := s.hours[step]
+	for i := range dst {
+		actual := h * s.jitter[i]
+		s.actual[i] = actual
+		budget := actual
+		if s.sc.Forecast {
+			if step >= forecast.SlotsPerDay {
+				budget = s.ewma[i].Predict(1)[0]
+			}
+			if err := s.ewma[i].Observe(actual); err != nil {
+				return err
+			}
+		}
+		dst[i] = budget
+	}
+	return nil
+}
+
+// Consumed implements reap.ConsumptionModel: realized consumption is the
+// planned energy modulated by the hour's activity intensity, execution
+// noise and fault episodes, plus the telemetry upload for powered
+// devices. Under FlatConsumption it is exactly planned (+ telemetry).
+func (s *simulator) Consumed(step int, allocs []reap.Allocation, dst []float64) error {
+	for i := range dst {
+		cfg := s.cfgs[i]
+		planned := allocs[i].Energy(cfg)
+		// A device dead for most of the period cannot run its hourly
+		// telemetry upload.
+		telemetry := s.telemetryJ
+		if allocs[i].Dead >= cfg.Period/2 {
+			telemetry = 0
+		}
+		s.faults[i] = synth.NoFault
+		if s.sc.FlatConsumption {
+			s.intensity[i] = 0
+			dst[i] = planned + telemetry
+			continue
+		}
+		intensity := s.hourIntensity(i)
+		s.intensity[i] = intensity
+		consumed := planned * (0.95 + 0.10*intensity)
+		if s.sc.FaultRate > 0 && s.faultRng[i].Float64() < s.sc.FaultRate {
+			faults := synth.Faults()
+			f := faults[s.faultRng[i].Intn(len(faults))]
+			s.faults[i] = f
+			scale, _ := faultEffect(f)
+			consumed *= scale
+		}
+		if s.sc.Noise > 0 {
+			factor := 1 + s.sc.Noise*s.noiseRng[i].NormFloat64()
+			factor = math.Min(1.5, math.Max(0.5, factor))
+			consumed *= factor
+		}
+		consumed += telemetry
+		if consumed < 0 {
+			consumed = 0
+		}
+		dst[i] = consumed
+	}
+	return nil
+}
+
+// hourIntensity streams one hour of activity labels from device i's
+// timeline and returns their mean intensity.
+func (s *simulator) hourIntensity(i int) float64 {
+	var sum float64
+	for w := 0; w < synth.WindowsPerHour; w++ {
+		sum += activityIntensity[s.timelines[i].NextLabel()]
+	}
+	return sum / synth.WindowsPerHour
+}
+
+// observe records one trace line per device for the completed step.
+func (s *simulator) observe(step int, budgets []float64, allocs []reap.Allocation, consumed []float64) error {
+	sky := s.skies[step].String()
+	for i := range allocs {
+		dev, err := s.fleet.Device(i)
+		if err != nil {
+			return err
+		}
+		cfg := s.cfgs[i]
+		acc := allocs[i].ExpectedAccuracy(cfg)
+		_, utilScale := faultEffect(s.faults[i])
+		s.records = append(s.records, StepRecord{
+			Step:         step,
+			Device:       i,
+			Sky:          sky,
+			HarvestJ:     s.actual[i],
+			BudgetJ:      budgets[i],
+			SolveBudgetJ: dev.LastBudget(),
+			Active:       append([]float64(nil), allocs[i].Active...),
+			OffS:         allocs[i].Off,
+			DeadS:        allocs[i].Dead,
+			PlannedJ:     allocs[i].Energy(cfg),
+			ConsumedJ:    consumed[i],
+			BatteryJ:     dev.Battery(),
+			Intensity:    s.intensity[i],
+			Fault:        s.faults[i].String(),
+			Accuracy:     acc,
+			Utility:      acc * utilScale,
+		})
+	}
+	return nil
+}
+
+// Run executes the scenario and returns its trace, summary metrics and
+// per-device configurations. Same scenario (including seed) in, same
+// trace bytes out — see the package comment for the determinism
+// contract.
+func Run(ctx context.Context, sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := reap.LookupSolver(sc.Solver); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+	}
+
+	tr, err := solar.MonthlyTrace(sc.Month, sc.Year, solar.DefaultCell())
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+	}
+	steps := sc.Days * 24
+
+	opts := []reap.Option{
+		reap.WithAlpha(sc.Alpha),
+		reap.WithBattery(sc.BatteryJ, sc.CapacityJ),
+		reap.WithSolver(sc.Solver),
+		reap.WithWorkers(sc.Workers),
+	}
+	if sc.Cache {
+		res := sc.CacheResolutionJ
+		if res < 0 {
+			res = 0 // exact mode
+		}
+		opts = append(opts, reap.WithSolveCache(sc.CacheSize, res))
+	} else {
+		// NewFleet caches by default; uncached scenarios must say so.
+		opts = append(opts, reap.WithoutSolveCache())
+	}
+	if sc.PerDevice != nil {
+		opts = append(opts, reap.WithDeviceOverride(sc.PerDevice))
+	}
+	fleet, err := reap.NewFleet(sc.Devices, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+	}
+
+	s := &simulator{
+		sc:         sc,
+		fleet:      fleet,
+		cfgs:       make([]reap.Config, sc.Devices),
+		hours:      make([]float64, steps),
+		skies:      tr.Skies[:steps],
+		jitter:     make([]float64, sc.Devices),
+		telemetryJ: energy.BLETransmission(sc.TelemetryBytes),
+		actual:     make([]float64, sc.Devices),
+		intensity:  make([]float64, sc.Devices),
+		faults:     make([]synth.Fault, sc.Devices),
+		records:    make([]StepRecord, 0, steps*sc.Devices),
+	}
+	for h := 0; h < steps; h++ {
+		s.hours[h] = tr.Hours[h] * sc.HarvestScale
+	}
+
+	batteryStart := 0.0
+	for i := 0; i < sc.Devices; i++ {
+		dev, err := fleet.Device(i)
+		if err != nil {
+			return nil, err
+		}
+		s.cfgs[i] = dev.Config()
+		batteryStart += dev.Battery()
+	}
+
+	jitterRng := rand.New(rand.NewSource(subSeed(sc.Seed, 0, saltJitter)))
+	for i := range s.jitter {
+		s.jitter[i] = 1
+		if sc.DeviceJitter > 0 {
+			s.jitter[i] = 1 + sc.DeviceJitter*(2*jitterRng.Float64()-1)
+		}
+	}
+	if sc.Forecast {
+		s.ewma = make([]*forecast.EWMA, sc.Devices)
+		for i := range s.ewma {
+			if s.ewma[i], err = forecast.NewEWMA(sc.ForecastLambda); err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+			}
+		}
+	}
+	if !sc.FlatConsumption {
+		s.timelines = make([]*synth.Timeline, sc.Devices)
+		s.noiseRng = make([]*rand.Rand, sc.Devices)
+		s.faultRng = make([]*rand.Rand, sc.Devices)
+		for i := 0; i < sc.Devices; i++ {
+			user := synth.NewUserProfile(i, sc.Seed)
+			if s.timelines[i], err = synth.NewTimeline(user, 0, subSeed(sc.Seed, i, saltTimeline)); err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+			}
+			s.noiseRng[i] = rand.New(rand.NewSource(subSeed(sc.Seed, i, saltNoise)))
+			s.faultRng[i] = rand.New(rand.NewSource(subSeed(sc.Seed, i, saltFault)))
+		}
+	}
+
+	start := time.Now()
+	if err := fleet.Run(ctx, steps, s, s, s.observe); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+	}
+	elapsed := time.Since(start)
+
+	batteryEnd := 0.0
+	for i := 0; i < sc.Devices; i++ {
+		dev, _ := fleet.Device(i)
+		batteryEnd += dev.Battery()
+	}
+
+	res := &Result{
+		Scenario: sc,
+		Trace: &Trace{
+			Scenario: sc.Name,
+			Seed:     sc.Seed,
+			Devices:  sc.Devices,
+			Steps:    steps,
+			Solver:   sc.Solver,
+			Cached:   sc.Cache,
+			Records:  s.records,
+		},
+		Configs: s.cfgs,
+	}
+	if stats, ok := fleet.CacheStats(); ok {
+		res.CacheStats = &stats
+	}
+	res.Summary = summarize(res, batteryStart, batteryEnd, elapsed)
+	return res, nil
+}

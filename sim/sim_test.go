@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Two runs of the same scenario must produce byte-identical traces —
+// the core determinism contract, independent of the checked-in goldens.
+func TestSameSeedByteIdenticalTrace(t *testing.T) {
+	for _, sc := range Library() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Trace.Bytes(), b.Trace.Bytes()) {
+				t.Fatalf("same seed produced different traces (%d vs %d bytes)",
+					len(a.Trace.Bytes()), len(b.Trace.Bytes()))
+			}
+		})
+	}
+}
+
+func TestDifferentSeedDifferentTrace(t *testing.T) {
+	sc := Brownout()
+	a, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed++
+	b, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Trace.Bytes(), b.Trace.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// The trace must be internally consistent: canonical ordering, time
+// conservation, energy feasibility, batteries within capacity.
+func TestTraceInvariants(t *testing.T) {
+	for _, sc := range Library() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := res.Trace
+			if got := len(tr.Records); got != tr.Steps*tr.Devices {
+				t.Fatalf("%d records for %d steps x %d devices", got, tr.Steps, tr.Devices)
+			}
+			for step := 0; step < tr.Steps; step++ {
+				for dev := 0; dev < tr.Devices; dev++ {
+					r := tr.At(step, dev)
+					if r.Step != step || r.Device != dev {
+						t.Fatalf("record at (%d,%d) holds (%d,%d): ordering broken",
+							step, dev, r.Step, r.Device)
+					}
+					cfg := res.Configs[dev]
+					var active float64
+					for _, a := range r.Active {
+						if a < -1e-9 {
+							t.Fatalf("step %d dev %d: negative active time %v", step, dev, a)
+						}
+						active += a
+					}
+					if total := active + r.OffS + r.DeadS; math.Abs(total-cfg.Period) > 1e-6 {
+						t.Fatalf("step %d dev %d: allocation totals %v s, period is %v s",
+							step, dev, total, cfg.Period)
+					}
+					if r.BatteryJ < -1e-9 || r.BatteryJ > capacityOf(t, res, dev)+1e-9 {
+						t.Fatalf("step %d dev %d: battery %v outside [0, capacity]", step, dev, r.BatteryJ)
+					}
+					if r.ConsumedJ < 0 {
+						t.Fatalf("step %d dev %d: negative consumption %v", step, dev, r.ConsumedJ)
+					}
+				}
+			}
+		})
+	}
+}
+
+// capacityOf infers device dev's battery capacity from the scenario and
+// its per-device overrides by probing the recorded battery ceiling — the
+// scenario library only raises capacity via overrides, so the base
+// capacity plus the override table bounds it.
+func capacityOf(t *testing.T, res *Result, dev int) float64 {
+	t.Helper()
+	// MixedFleet raises device 1 mod 3 to 150 J; everything else uses
+	// the scenario capacity.
+	if res.Scenario.Name == "mixed-fleet" && dev%3 == 1 {
+		return 150
+	}
+	return res.Scenario.CapacityJ
+}
+
+// The cache-hot scenario exists to prove budget correlation: all
+// sixteen devices must collapse onto one solve per hour.
+func TestCacheHotHitRate(t *testing.T) {
+	res, err := Run(context.Background(), CacheHot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheStats == nil {
+		t.Fatal("cache-hot ran without a cache")
+	}
+	if rate := res.Summary.CacheHitRate; rate < 0.90 {
+		t.Fatalf("cache hit rate %.3f below 0.90: budgets decorrelated (stats %+v)",
+			rate, *res.CacheStats)
+	}
+	// Distinct solves should be about one per hour, not per device-hour.
+	if res.CacheStats.Misses > uint64(res.Trace.Steps)+4 {
+		t.Fatalf("%d cache misses for %d hours: correlated devices are not sharing entries",
+			res.CacheStats.Misses, res.Trace.Steps)
+	}
+}
+
+// Forecast-driven budgets must decouple the budget from the actual
+// harvest after the warm-up day, and stay within the predictor's range.
+func TestForecastBudgetsDecouple(t *testing.T) {
+	res, err := Run(context.Background(), CloudyBursts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	warm, post := 0, 0
+	var diverged bool
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Step < 24 {
+			if r.BudgetJ != r.HarvestJ {
+				t.Fatalf("step %d dev %d: warm-up budget %v != harvest %v",
+					r.Step, r.Device, r.BudgetJ, r.HarvestJ)
+			}
+			warm++
+			continue
+		}
+		post++
+		if r.BudgetJ != r.HarvestJ {
+			diverged = true
+		}
+		if r.BudgetJ < 0 {
+			t.Fatalf("step %d dev %d: negative forecast budget %v", r.Step, r.Device, r.BudgetJ)
+		}
+	}
+	if warm == 0 || post == 0 {
+		t.Fatalf("degenerate horizon: %d warm-up, %d forecast records", warm, post)
+	}
+	if !diverged {
+		t.Fatal("forecast budgets never diverged from actual harvest")
+	}
+}
+
+// Fault injection must actually fire at the configured rate and degrade
+// utility relative to accuracy.
+func TestFaultInjection(t *testing.T) {
+	res, err := Run(context.Background(), Brownout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.FaultCount == 0 {
+		t.Fatal("brownout scenario injected no faults at FaultRate=0.12")
+	}
+	for i := range res.Trace.Records {
+		r := &res.Trace.Records[i]
+		if r.Fault == "none" {
+			if r.Utility != r.Accuracy {
+				t.Fatalf("step %d dev %d: utility %v != accuracy %v without a fault",
+					r.Step, r.Device, r.Utility, r.Accuracy)
+			}
+		} else if r.Accuracy > 0 && r.Utility >= r.Accuracy {
+			t.Fatalf("step %d dev %d: fault %s did not degrade utility (%v >= %v)",
+				r.Step, r.Device, r.Fault, r.Utility, r.Accuracy)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := map[string]func(*Scenario){
+		"no devices":    func(s *Scenario) { s.Devices = 0 },
+		"bad month":     func(s *Scenario) { s.Month = 13 },
+		"too many days": func(s *Scenario) { s.Days = 40 },
+		"neg noise":     func(s *Scenario) { s.Noise = -1 },
+		"bad fault":     func(s *Scenario) { s.FaultRate = 2 },
+		"bad jitter":    func(s *Scenario) { s.DeviceJitter = 1 },
+		"neg scale":     func(s *Scenario) { s.HarvestScale = -2 },
+	}
+	for name, mutate := range cases {
+		sc := ClearMonth()
+		mutate(&sc)
+		if _, err := Run(context.Background(), sc); err == nil {
+			t.Errorf("%s: Run accepted an invalid scenario", name)
+		}
+	}
+	if _, err := Run(context.Background(), Scenario{}); err == nil {
+		t.Error("zero scenario must not run")
+	}
+	sc := ClearMonth()
+	sc.Solver = "no-such-backend"
+	if _, err := Run(context.Background(), sc); err == nil {
+		t.Error("unknown solver must fail the run")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, want := range Library() {
+		got, err := Lookup(want.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != want.Name || got.Seed != want.Seed {
+			t.Fatalf("Lookup(%q) returned %q seed %d", want.Name, got.Name, got.Seed)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Lookup of unknown scenario: %v", err)
+	}
+}
+
+// Cancelling mid-run must abort with the context error rather than
+// recording a partial trace as success.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, ClearMonth()); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}
+
+// The mixed fleet must actually be heterogeneous: the α = 2 population
+// plans differently from the α = 0.5 population under the same sky.
+func TestMixedFleetHeterogeneous(t *testing.T) {
+	res, err := Run(context.Background(), MixedFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a0, a1 := res.Configs[0].Alpha, res.Configs[1].Alpha; a0 == a1 {
+		t.Fatalf("device 0 and 1 share alpha %v: override did not apply", a0)
+	}
+}
