@@ -194,6 +194,52 @@ func BenchmarkSolveEnumerate5DPs(b *testing.B) {
 	}
 }
 
+// BenchmarkSolvePlan5DPs measures the compiled parametric backend at
+// the paper's operating point, through the public registry (compile
+// amortized across calls by the backend's fingerprint memo).
+func BenchmarkSolvePlan5DPs(b *testing.B) {
+	ctx := context.Background()
+	cfg := DefaultConfig()
+	solver, err := LookupSolver(SolverPlan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(ctx, cfg, 5.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolvePlan100DPs is the scaling companion of
+// BenchmarkSolve100DPs: the envelope compiles once, after which a solve
+// is a binary search over at most 101 breakpoints.
+func BenchmarkSolvePlan100DPs(b *testing.B) {
+	ctx := context.Background()
+	cfg := core.Config{Period: 3600, POff: core.DefaultPOff, Alpha: 1}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		cfg.DPs = append(cfg.DPs, core.DesignPoint{
+			Name:     "dp",
+			Accuracy: 0.5 + rng.Float64()*0.5,
+			Power:    1e-3 + rng.Float64()*2e-3,
+		})
+	}
+	solver, err := LookupSolver(SolverPlan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(ctx, cfg, 5.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkControllerStep measures one closed-loop hour: budget folding,
 // LP solve and accounting.
 func BenchmarkControllerStep(b *testing.B) {
@@ -276,18 +322,33 @@ func correlatedBudgets(n int) []float64 {
 
 // BenchmarkFleetStepAll measures one fleet re-planning tick (stateful
 // sessions, battery + accounting) at 1k and 10k devices under
-// correlated budgets: the uncached path (sequential and pooled) versus
-// the default shared solve cache. cached/10000 versus uncached/10000 is
-// the headline number for the cache subsystem.
+// correlated budgets, across the solver backends and cache modes that
+// make up the committed benchmark trajectory (BENCH_solve.json in CI):
+//
+//   - uncached-simplex / uncached-enumerate: every device runs the
+//     iterative LP solver on the pooled path;
+//   - uncached-plan: the compiled parametric backend, solving straight
+//     into each controller's reused allocation via the plan fast path —
+//     the benchmark behind the "miss path is near-free" claim
+//     (uncached-plan/10000 versus uncached-simplex/10000 is the
+//     headline, ≥3x on one core);
+//   - sequential-uncached-plan: the same without the worker pool,
+//     isolating pool overhead at plan-solve speeds;
+//   - cached: NewFleet's default — the shared 1 mJ solve cache over the
+//     plan backend (cached/10000 versus uncached-simplex/10000 was the
+//     cache PR's headline; the plan backend now makes even its misses
+//     cheap).
 func BenchmarkFleetStepAll(b *testing.B) {
 	ctx := context.Background()
 	variants := []struct {
 		name string
 		opts []Option
 	}{
-		{"sequential-uncached", []Option{WithoutSolveCache(), WithWorkers(1)}},
-		{"uncached", []Option{WithoutSolveCache()}},
-		{"cached", nil}, // NewFleet's default shared cache
+		{"sequential-uncached-plan", []Option{WithoutSolveCache(), WithWorkers(1)}},
+		{"uncached-plan", []Option{WithoutSolveCache()}},
+		{"uncached-simplex", []Option{WithoutSolveCache(), WithSolver(SolverSimplex)}},
+		{"uncached-enumerate", []Option{WithoutSolveCache(), WithSolver(SolverEnumerate)}},
+		{"cached", nil}, // NewFleet's default shared cache over the plan backend
 	}
 	for _, n := range []int{1000, 10000} {
 		budgets := correlatedBudgets(n)
@@ -298,6 +359,7 @@ func BenchmarkFleetStepAll(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := fleet.StepAll(ctx, budgets); err != nil {
@@ -306,6 +368,49 @@ func BenchmarkFleetStepAll(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// benchHarvest and benchConsumption close Fleet.Run's loop with fixed
+// correlated budgets and exact execution, keeping the benchmark's
+// allocations down to what the fleet layer itself does.
+type benchHarvest struct{ budgets []float64 }
+
+func (h benchHarvest) Budgets(step int, dst []float64) error {
+	copy(dst, h.budgets)
+	return nil
+}
+
+type benchConsumption struct{ cfg Config }
+
+func (m benchConsumption) Consumed(step int, allocs []Allocation, dst []float64) error {
+	for i := range dst {
+		dst[i] = allocs[i].Energy(m.cfg)
+	}
+	return nil
+}
+
+// BenchmarkFleetRunClosedLoop measures one full closed-loop period
+// (budgets → StepAll → consumption → ReportAll) per op at 1000 devices
+// on the uncached plan path. Run reuses one allocation buffer across
+// steps and every controller solves into its retained Active slice, so
+// steady-state allocs/op stays O(1) per period — not O(devices).
+func BenchmarkFleetRunClosedLoop(b *testing.B) {
+	const n = 1000
+	fleet, err := NewFleet(n, WithBattery(20, 100), WithoutSolveCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := benchHarvest{budgets: correlatedBudgets(n)}
+	model := benchConsumption{cfg: DefaultConfig()}
+	// One warm-up step grows every buffer to steady state.
+	if err := fleet.Run(context.Background(), 1, src, model, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := fleet.Run(context.Background(), b.N, src, model, nil); err != nil {
+		b.Fatal(err)
 	}
 }
 

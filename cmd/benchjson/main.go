@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout — the format of the committed solver
+// benchmark trajectory (BENCH_solve.json) and of the artifact the CI
+// bench-smoke job uploads on every run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'FleetStepAll|SolvePlan' -benchmem . | benchjson > BENCH_solve.json
+//
+// Each benchmark line becomes one entry keyed by its name (with the
+// -cpu suffix stripped, so trajectories diff cleanly across machines
+// with different core counts):
+//
+//	{"benchmarks": {"BenchmarkFleetStepAll/uncached-plan/10000":
+//	    {"ns_per_op": 1016034, "allocs_per_op": 10004, "bytes_per_op": 1055616}, ...}}
+//
+// Lines that are not benchmark results (the header, PASS/ok trailers)
+// pass through to the "context" field so a trajectory records which
+// package, CPU and Go version produced it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements. Allocation counters are
+// pointers so benchmarks run without -benchmem encode as null rather
+// than a misleading zero.
+type result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	Context    []string          `json:"context,omitempty"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFleetStepAll/cached/10000-4  100  42 ns/op  16 B/op  2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	doc := document{Benchmarks: map[string]result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+				strings.HasPrefix(line, "pkg:") || strings.HasPrefix(line, "cpu:") {
+				doc.Context = append(doc.Context, line)
+			}
+			continue
+		}
+		var r result
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			r.AllocsPerOp = &v
+		}
+		doc.Benchmarks[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+
+	// encoding/json sorts map keys, so the document is stable; indent
+	// for reviewable diffs and echo the entry count to stderr.
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+	names := make([]string, 0, len(doc.Benchmarks))
+	for n := range doc.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (%s ... %s)\n", len(names), names[0], names[len(names)-1])
+}

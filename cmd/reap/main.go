@@ -36,7 +36,7 @@ func main() {
 	period := flag.Float64("period", reap.DefaultPeriod, "activity period, seconds")
 	poff := flag.Float64("poff", reap.DefaultPOff, "off-state power, watts")
 	dpsFile := flag.String("dps", "", "JSON file with custom design points")
-	solverName := flag.String("solver", reap.SolverSimplex,
+	solverName := flag.String("solver", reap.DefaultSolver,
 		"optimizer backend: "+strings.Join(reap.Solvers(), ", "))
 	flag.Parse()
 

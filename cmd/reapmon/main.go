@@ -7,20 +7,23 @@
 // Usage:
 //
 //	reapmon [-days 3] [-month 9] [-year 2015] [-alpha 1] [-battery 20]
-//	        [-capacity 100] [-noise 0.03] [-lookahead]
+//	        [-capacity 100] [-noise 0.03] [-solver plan] [-lookahead]
 //	        [-cache] [-cachesize 4096] [-cacheres 0.001]
 //
 // With -cache the controller's solves go through a solve cache (the same
 // subsystem fleets share; see reap.WithSolveCache) and the final line
 // reports its statistics — hits, misses, singleflight-coalesced lookups,
-// evictions and hit rate. The -lookahead planner bypasses the hourly
-// solver, so the cache does not apply there.
+// evictions and hit rate. -solver picks the hourly optimizer backend
+// (default plan, the compiled parametric solver). The -lookahead planner
+// bypasses the hourly solver entirely, so neither -solver nor the cache
+// applies there.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro"
 	"repro/internal/core"
@@ -38,6 +41,8 @@ func main() {
 	battery := flag.Float64("battery", 20, "initial battery charge, J")
 	capacity := flag.Float64("capacity", 100, "battery capacity, J")
 	noise := flag.Float64("noise", 0.03, "execution noise (relative std)")
+	solverName := flag.String("solver", reap.DefaultSolver,
+		"optimizer backend: "+strings.Join(reap.Solvers(), ", "))
 	lookahead := flag.Bool("lookahead", false, "use the 24h receding-horizon planner instead of myopic REAP")
 	useCache := flag.Bool("cache", false, "route solves through a solve cache and report its stats")
 	cacheSize := flag.Int("cachesize", 4096, "solve cache capacity in entries")
@@ -83,7 +88,8 @@ func main() {
 		return
 	}
 
-	opts := []reap.Option{reap.WithConfig(cfg), reap.WithBattery(*battery, *capacity)}
+	opts := []reap.Option{reap.WithConfig(cfg), reap.WithBattery(*battery, *capacity),
+		reap.WithSolver(*solverName)}
 	var sc *reap.SolveCache
 	if *useCache {
 		sc, err = reap.NewSolveCache(*cacheSize, *cacheRes)

@@ -69,13 +69,14 @@ func main() {
 			100*stats.HitRate(), stats.Hits, stats.Coalesced, stats.Misses)
 	}
 
-	// Stateless batch: a what-if sweep over budgets and both backends.
+	// Stateless batch: a what-if sweep over budgets, cross-checking the
+	// default plan backend against the paper's simplex per request.
 	reqs := make([]reap.Request, 0, 40)
 	for i := 0; i < 20; i++ {
 		budget := 0.5 + 0.5*float64(i)
 		reqs = append(reqs,
+			reap.Request{Budget: budget}, // default backend: the compiled plan
 			reap.Request{Budget: budget, Solver: reap.SolverSimplex},
-			reap.Request{Budget: budget, Solver: reap.SolverEnumerate},
 		)
 	}
 	results := reap.SolveBatch(ctx, reqs)
@@ -90,7 +91,7 @@ func main() {
 			agree++
 		}
 	}
-	fmt.Printf("\nSolveBatch: %d budget points, simplex and enumerate agree on %d/%d\n",
+	fmt.Printf("\nSolveBatch: %d budget points, plan and simplex agree on %d/%d\n",
 		len(reqs)/2, agree, len(reqs)/2)
 }
 

@@ -16,7 +16,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	solver, err := reap.LookupSolver(reap.SolverSimplex)
+	// The default backend is "plan" — the compiled parametric solver;
+	// reap.SolverSimplex pins the paper's Algorithm 1 instead.
+	solver, err := reap.LookupSolver(reap.DefaultSolver)
 	if err != nil {
 		panic(err)
 	}

@@ -55,10 +55,9 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	solve := s.wrapSolveFunc(tag, solver.Solve)
 	f := &Fleet{ctls: make([]*Controller, n), workers: s.workers, cache: s.solveCache}
 	for i := range f.ctls {
-		ds, dsolve := s, solve
+		ds, dSolver, dTag := s, solver, tag
 		if s.deviceOverride != nil {
 			// Copy the fleet-wide settings and refine them with the
 			// device's own options. The copy shares the design-point slice
@@ -68,20 +67,25 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 			if err := dv.apply(s.deviceOverride(i)); err != nil {
 				return nil, fmt.Errorf("device %d: %w", i, err)
 			}
-			dSolver, dTag, err := dv.resolveSolver()
-			if err != nil {
+			if dSolver, dTag, err = dv.resolveSolver(); err != nil {
 				return nil, fmt.Errorf("device %d: %w", i, err)
 			}
-			ds, dsolve = &dv, dv.wrapSolveFunc(dTag, dSolver.Solve)
+			ds = &dv
 		}
 		ctl, err := core.NewController(ds.cfg, ds.batteryJ, ds.capacityJ)
+		if err == nil {
+			// Devices sharing a configuration share one compiled plan on
+			// the uncached plan path (wireResolved memoizes per
+			// fingerprint); a compiled core.Plan is immutable and safe
+			// for the whole fleet to solve on concurrently.
+			err = ds.wireResolved(ctl, dSolver, dTag)
+		}
 		if err != nil {
 			if s.deviceOverride != nil {
 				err = fmt.Errorf("device %d: %w", i, err)
 			}
 			return nil, err
 		}
-		ctl.SetSolveFunc(dsolve)
 		f.ctls[i] = ctl
 	}
 	return f, nil
@@ -126,25 +130,32 @@ func (f *Fleet) StepAll(ctx context.Context, budgets []float64) ([]Allocation, e
 		return nil, fmt.Errorf("%w: %d budgets for %d devices", ErrInvalidConfig, len(budgets), len(f.ctls))
 	}
 	allocs := make([]Allocation, len(f.ctls))
+	return allocs, f.stepAllInto(ctx, budgets, allocs)
+}
+
+// stepAllInto is StepAll writing into a caller-owned allocation slice:
+// each device steps with StepInto, so on the uncached plan path a
+// reused allocs slice (Fleet.Run's loop) makes the whole fleet tick
+// allocation-free per device in steady state. Entries of failed or
+// unstarted devices are reset to the zero Allocation.
+func (f *Fleet) stepAllInto(ctx context.Context, budgets []float64, allocs []Allocation) error {
 	errs := make([]error, len(f.ctls))
 	started := make([]bool, len(f.ctls))
 	f.run(ctx, len(f.ctls), func(i int) {
 		started[i] = true
-		alloc, err := f.ctls[i].StepContext(ctx, budgets[i])
-		if err != nil {
+		if err := f.ctls[i].StepInto(ctx, budgets[i], &allocs[i]); err != nil {
 			errs[i] = fmt.Errorf("device %d: %w", i, err)
-			return
 		}
-		allocs[i] = alloc
 	})
 	if err := ctx.Err(); err != nil {
 		for i := range errs {
 			if !started[i] {
+				allocs[i] = Allocation{}
 				errs[i] = fmt.Errorf("device %d: not stepped: %w", i, err)
 			}
 		}
 	}
-	return allocs, errors.Join(errs...)
+	return errors.Join(errs...)
 }
 
 // ReportAll closes the feedback loop for every device: consumed[i] is the
@@ -203,12 +214,17 @@ func (f *Fleet) Run(ctx context.Context, steps int, src HarvestSource, model Con
 	}
 	budgets := make([]float64, len(f.ctls))
 	consumed := make([]float64, len(f.ctls))
+	// One allocation buffer for the whole run: stepAllInto refills it in
+	// place each period, and controllers on the plan fast path solve
+	// straight into the retained Active slices — a steady-state device-
+	// step allocates nothing. The observer contract already requires
+	// copying anything that must outlive the call.
+	allocs := make([]Allocation, len(f.ctls))
 	for step := 0; step < steps; step++ {
 		if err := src.Budgets(step, budgets); err != nil {
 			return fmt.Errorf("step %d: harvest source: %w", step, err)
 		}
-		allocs, err := f.StepAll(ctx, budgets)
-		if err != nil {
+		if err := f.stepAllInto(ctx, budgets, allocs); err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
 		if err := model.Consumed(step, allocs, consumed); err != nil {
@@ -285,7 +301,8 @@ type Request struct {
 	Config Config
 	// Budget is the energy available for the period, in joules.
 	Budget float64
-	// Solver names the registry backend to use; empty selects simplex.
+	// Solver names the registry backend to use; empty selects the
+	// default backend (DefaultSolver, the compiled parametric plan).
 	Solver string
 }
 
@@ -307,6 +324,10 @@ type Result struct {
 // WithSolveCache or WithSharedSolveCache routes every request through
 // the cache — sharing entries across batches when the cache is shared.
 // Option errors fail the whole batch: every result carries the error.
+// Requests on the default plan backend compile each distinct
+// configuration fingerprint once (the backend memoizes compiled plans),
+// so a sweep of N budgets over one Config pays one compilation and N
+// binary-search solves.
 func SolveBatch(ctx context.Context, reqs []Request, opts ...Option) []Result {
 	results := make([]Result, len(reqs))
 	started := make([]bool, len(reqs))
@@ -331,7 +352,7 @@ func SolveBatch(ctx context.Context, reqs []Request, opts ...Option) []Result {
 	for i, req := range reqs {
 		name := req.Solver
 		if name == "" {
-			name = SolverSimplex
+			name = DefaultSolver
 		}
 		if _, seen := byName[name]; !seen && errByName[name] == nil {
 			if solver, err := LookupSolver(name); err != nil {

@@ -30,14 +30,18 @@ type Controller struct {
 	carry float64
 	// battery tracks the backup battery state of charge in joules; the
 	// carry is bounded by what the battery can absorb.
-	battery    float64
-	capacityJ  float64
-	lastAlloc  Allocation
-	lastBudget float64
-	steps      int
+	battery     float64
+	capacityJ   float64
+	lastPlanned float64
+	lastBudget  float64
+	steps       int
 
-	// solve is the optimizer backend; nil selects SolveContext (simplex).
+	// solve is the optimizer backend; when nil, plan answers solves if
+	// set, and SolveContext (simplex) otherwise.
 	solve SolveFunc
+	// plan is the compiled parametric solver for cfg; the zero-allocation
+	// fast path of StepInto. Kept in sync with cfg by SetAlpha.
+	plan *Plan
 }
 
 // NewController creates a runtime controller. batteryJ is the initial
@@ -68,19 +72,42 @@ func (ct *Controller) Steps() int { return ct.steps }
 func (ct *Controller) LastBudget() float64 { return ct.lastBudget }
 
 // SetAlpha changes the accuracy/active-time emphasis for subsequent
-// periods, modelling a user-preference update at runtime.
+// periods, modelling a user-preference update at runtime. A controller
+// running on a compiled plan recompiles it, since the plan's envelope
+// depends on α.
 func (ct *Controller) SetAlpha(alpha float64) error {
 	if alpha < 0 || math.IsNaN(alpha) {
 		return fmt.Errorf("%w: alpha %v must be non-negative", ErrInvalidConfig, alpha)
 	}
 	ct.cfg.Alpha = alpha
+	if ct.plan != nil {
+		p, err := NewPlan(ct.cfg)
+		if err != nil {
+			return err
+		}
+		ct.plan = p
+	}
 	return nil
 }
 
 // SetSolveFunc selects the optimizer backend used by subsequent Steps; a
-// nil fn restores the default simplex path. Not safe for concurrent use
-// with Step — configure the controller before starting its period loop.
+// nil fn restores the default path (the compiled plan when one is set,
+// simplex otherwise). Not safe for concurrent use with Step — configure
+// the controller before starting its period loop.
 func (ct *Controller) SetSolveFunc(fn SolveFunc) { ct.solve = fn }
+
+// SetPlan installs a compiled parametric plan as the controller's
+// allocation-free solve path, used whenever no SolveFunc is set. The
+// plan must be compiled from the controller's exact configuration; a
+// nil plan clears the fast path. Like SetSolveFunc, not safe for
+// concurrent use with Step.
+func (ct *Controller) SetPlan(p *Plan) error {
+	if p != nil && p.Config().Fingerprint() != ct.cfg.Fingerprint() {
+		return fmt.Errorf("%w: plan compiled for a different configuration", ErrInvalidConfig)
+	}
+	ct.plan = p
+	return nil
+}
 
 // Step plans the next activity period. harvested is the energy (J) the
 // harvesting subsystem expects to collect during the period. The budget
@@ -92,31 +119,62 @@ func (ct *Controller) Step(harvested float64) (Allocation, error) {
 
 // StepContext is Step with cancellation, forwarded to the solver backend.
 func (ct *Controller) StepContext(ctx context.Context, harvested float64) (Allocation, error) {
+	var alloc Allocation
+	if err := ct.StepInto(ctx, harvested, &alloc); err != nil {
+		return Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// StepInto is StepContext writing the schedule into dst, the buffer-
+// reusing form for closed loops: on a controller with a compiled plan
+// (and no SolveFunc) a steady-state step allocates nothing, because the
+// plan solves straight into dst's existing Active slice. dst's previous
+// contents are fully overwritten; on error the controller commits no
+// state and dst is reset to the zero Allocation.
+func (ct *Controller) StepInto(ctx context.Context, harvested float64, dst *Allocation) error {
 	if harvested < 0 || math.IsNaN(harvested) {
-		return Allocation{}, fmt.Errorf("%w: harvested energy %v", ErrBudgetNegative, harvested)
+		*dst = Allocation{}
+		return fmt.Errorf("%w: harvested energy %v", ErrBudgetNegative, harvested)
 	}
 	budget := harvested + ct.battery + ct.carry
 	if budget < 0 {
 		budget = 0
 	}
-	solve := ct.solve
-	if solve == nil {
-		solve = SolveContext
+	switch {
+	case ct.solve != nil:
+		alloc, err := ct.solve(ctx, ct.cfg, budget)
+		if err != nil {
+			*dst = Allocation{}
+			return err
+		}
+		*dst = alloc
+	case ct.plan != nil:
+		if err := ctx.Err(); err != nil {
+			*dst = Allocation{}
+			return err
+		}
+		if err := ct.plan.SolveInto(budget, dst); err != nil {
+			*dst = Allocation{}
+			return err
+		}
+	default:
+		alloc, err := SolveContext(ctx, ct.cfg, budget)
+		if err != nil {
+			*dst = Allocation{}
+			return err
+		}
+		*dst = alloc
 	}
-	alloc, err := solve(ctx, ct.cfg, budget)
-	if err != nil {
-		return Allocation{}, err
-	}
-	ct.lastAlloc = alloc
 	ct.lastBudget = budget
 	ct.carry = 0
 	ct.steps++
 
 	// Provisional accounting: assume the plan executes exactly. Report
 	// corrects this when the device reports measured consumption.
-	planned := alloc.Energy(ct.cfg)
-	ct.settle(harvested, planned)
-	return alloc, nil
+	ct.lastPlanned = dst.Energy(ct.cfg)
+	ct.settle(harvested, ct.lastPlanned)
+	return nil
 }
 
 // Report records the energy actually consumed during the period that
@@ -128,8 +186,7 @@ func (ct *Controller) Report(consumed float64) error {
 	if consumed < 0 || math.IsNaN(consumed) {
 		return fmt.Errorf("%w: consumed energy %v", ErrBudgetNegative, consumed)
 	}
-	planned := ct.lastAlloc.Energy(ct.cfg)
-	ct.carry += planned - consumed
+	ct.carry += ct.lastPlanned - consumed
 	return nil
 }
 

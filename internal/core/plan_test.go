@@ -1,0 +1,450 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomPlanConfig draws a valid configuration: 1-12 design points with
+// powers above POff, accuracies in [0,1], α in a spread of exponents
+// (including the degenerate α = 0), and an occasional zero POff.
+func randomPlanConfig(rng *rand.Rand) Config {
+	c := Config{
+		Period: 600 + rng.Float64()*7200,
+		POff:   rng.Float64() * 1e-4,
+		Alpha:  []float64{0, 0.5, 1, 1, 2, 3.7}[rng.Intn(6)],
+	}
+	if rng.Intn(8) == 0 {
+		c.POff = 0
+	}
+	n := 1 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		c.DPs = append(c.DPs, DesignPoint{
+			Name:     "dp",
+			Accuracy: rng.Float64(),
+			Power:    c.POff + 1e-5 + rng.Float64()*5e-3,
+		})
+	}
+	return c
+}
+
+// budgetSweep returns a budget grid spanning all four regions of the
+// configuration: below the idle floor, dense across the envelope, and
+// beyond saturation — with every region boundary included exactly.
+func budgetSweep(c Config) []float64 {
+	max := c.MaxUsefulBudget()
+	budgets := []float64{0, c.MinBudget() / 2}
+	for i := 0; i <= 400; i++ {
+		budgets = append(budgets, 1.25*max*float64(i)/400)
+	}
+	return append(budgets, RegionBoundaries(c)...)
+}
+
+// TestPlanMatchesSolversOnDenseSweep is the exactness property: over
+// randomized configurations and a dense budget sweep spanning every
+// Region, the compiled plan's objective agrees with both iterative
+// solvers to 1e-9 and its allocations are feasible.
+func TestPlanMatchesSolversOnDenseSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	configs := []Config{DefaultConfig()}
+	for i := 0; i < 30; i++ {
+		configs = append(configs, randomPlanConfig(rng))
+	}
+	regions := map[Region]int{}
+	for ci, c := range configs {
+		p, err := NewPlan(c)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		for _, budget := range budgetSweep(c) {
+			got, err := p.Solve(budget)
+			if err != nil {
+				t.Fatalf("config %d plan at %v J: %v", ci, budget, err)
+			}
+			// Feasibility: time identity and energy budget.
+			if d := math.Abs(got.Total() - c.Period); d > 1e-6 {
+				t.Fatalf("config %d at %v J: time identity off by %v", ci, budget, d)
+			}
+			if e := got.Energy(c); e > budget+1e-6 {
+				t.Fatalf("config %d at %v J: plan spends %v J", ci, budget, e)
+			}
+			jPlan := got.Objective(c)
+			if d := math.Abs(jPlan - p.Value(budget)); d > 1e-9 {
+				t.Fatalf("config %d at %v J: Solve objective %v but Value %v", ci, budget, jPlan, p.Value(budget))
+			}
+			sx, err := Solve(c, budget)
+			if err != nil {
+				t.Fatalf("config %d simplex at %v J: %v", ci, budget, err)
+			}
+			en, err := SolveEnumerate(c, budget)
+			if err != nil {
+				t.Fatalf("config %d enumerate at %v J: %v", ci, budget, err)
+			}
+			if d := math.Abs(jPlan - sx.Objective(c)); d > 1e-9 {
+				t.Fatalf("config %d at %v J (%s): plan %v vs simplex %v (Δ %g)",
+					ci, budget, Classify(c, budget), jPlan, sx.Objective(c), d)
+			}
+			if d := math.Abs(jPlan - en.Objective(c)); d > 1e-9 {
+				t.Fatalf("config %d at %v J (%s): plan %v vs enumerate %v (Δ %g)",
+					ci, budget, Classify(c, budget), jPlan, en.Objective(c), d)
+			}
+			regions[Classify(c, budget)]++
+		}
+	}
+	for _, r := range []Region{RegionDead, Region1, Region2, Region3} {
+		if regions[r] == 0 {
+			t.Errorf("sweep never visited %v", r)
+		}
+	}
+}
+
+// TestPlanValueConcaveNonDecreasing pins the envelope's defining shape:
+// J*(Eb) is non-decreasing in the budget and concave (midpoint above
+// the chord) over randomized configurations.
+func TestPlanValueConcaveNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for ci := 0; ci < 40; ci++ {
+		c := randomPlanConfig(rng)
+		p, err := NewPlan(c)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		max := 1.25 * c.MaxUsefulBudget()
+		const steps = 300
+		grid := make([]float64, steps+1)
+		vals := make([]float64, steps+1)
+		for i := range grid {
+			grid[i] = max * float64(i) / steps
+			vals[i] = p.Value(grid[i])
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1]-1e-12 {
+				t.Fatalf("config %d: J* decreases from %v to %v between %v and %v J",
+					ci, vals[i-1], vals[i], grid[i-1], grid[i])
+			}
+		}
+		// Concavity over the LP's domain [MinBudget, ∞): the dead region
+		// below the idle floor is a separate regime (J* jumps to zero
+		// there), so chords must not span it.
+		for i := 0; i < len(grid); i++ {
+			if grid[i] < c.MinBudget() {
+				continue
+			}
+			for j := i + 2; j < len(grid); j += 37 {
+				mid := (grid[i] + grid[j]) / 2
+				chord := (vals[i] + vals[j]) / 2
+				if v := p.Value(mid); v < chord-1e-9 {
+					t.Fatalf("config %d: J*(%v)=%v below chord %v of [%v, %v]",
+						ci, mid, v, chord, grid[i], grid[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanBreakpointsAgreeWithRegionBoundaries: every breakpoint is one
+// of RegionBoundaries' budgets (the idle floor or a design point's
+// saturation energy), the first is the floor, the last is the
+// saturation energy of the best design point, and they strictly
+// increase. The converse containment is deliberately absent:
+// LP-dominated design points (under the concave envelope) contribute a
+// region boundary but never a breakpoint — the paper's own Table 2 set
+// has one such point (DP2 under α = 1).
+func TestPlanBreakpointsAgreeWithRegionBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	configs := []Config{DefaultConfig()}
+	for i := 0; i < 40; i++ {
+		configs = append(configs, randomPlanConfig(rng))
+	}
+	for ci, c := range configs {
+		p, err := NewPlan(c)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		bps := p.Breakpoints()
+		if len(bps) == 0 {
+			t.Fatalf("config %d: no breakpoints", ci)
+		}
+		if bps[0] != c.MinBudget() {
+			t.Fatalf("config %d: first breakpoint %v, want idle floor %v", ci, bps[0], c.MinBudget())
+		}
+		if !sort.Float64sAreSorted(bps) {
+			t.Fatalf("config %d: breakpoints unsorted: %v", ci, bps)
+		}
+		for i := 1; i < len(bps); i++ {
+			if bps[i] <= bps[i-1] {
+				t.Fatalf("config %d: breakpoints not strictly increasing: %v", ci, bps)
+			}
+		}
+		bounds := RegionBoundaries(c)
+		for _, bp := range bps {
+			found := false
+			for _, b := range bounds {
+				if b == bp {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("config %d: breakpoint %v is not a region boundary %v", ci, bp, bounds)
+			}
+		}
+		// The last breakpoint saturates the most valuable state; past it
+		// the value is flat at the maximum weight.
+		if d := math.Abs(p.Value(bps[len(bps)-1]) - p.Value(2*bps[len(bps)-1]+1)); d > 0 {
+			t.Fatalf("config %d: value not flat past the last breakpoint (Δ %g)", ci, d)
+		}
+	}
+	// The documented concrete case: under α = 1 the paper's DP2 lies
+	// strictly under the DP3–DP1 chord, so the default plan has exactly
+	// five breakpoints for six region boundaries.
+	p, err := NewPlan(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bounds := len(p.Breakpoints()), len(RegionBoundaries(DefaultConfig())); got != bounds-1 {
+		t.Fatalf("paper config: %d breakpoints for %d boundaries, want DP2 excluded (one fewer)", got, bounds)
+	}
+}
+
+// TestPlanSolveIntoReusesBuffer: after the first call, SolveInto must
+// keep writing into the same Active backing array and agree with Solve.
+func TestPlanSolveIntoReusesBuffer(t *testing.T) {
+	c := DefaultConfig()
+	p, err := NewPlan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Allocation
+	if err := p.SolveInto(5, &a); err != nil {
+		t.Fatal(err)
+	}
+	first := &a.Active[0]
+	for _, budget := range budgetSweep(c) {
+		if err := p.SolveInto(budget, &a); err != nil {
+			t.Fatal(err)
+		}
+		if &a.Active[0] != first {
+			t.Fatalf("SolveInto reallocated the Active slice at %v J", budget)
+		}
+		want, err := p.Solve(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Active {
+			if a.Active[i] != want.Active[i] {
+				t.Fatalf("SolveInto and Solve disagree at %v J: %v vs %v", budget, a, want)
+			}
+		}
+		if a.Off != want.Off || a.Dead != want.Dead {
+			t.Fatalf("SolveInto and Solve disagree at %v J: %v vs %v", budget, a, want)
+		}
+	}
+}
+
+// TestPlanErrorsAndDegenerates covers the argument contract and the
+// all-zero-weight degeneracy (every accuracy zero under α > 0), where
+// the whole envelope collapses to the off vertex.
+func TestPlanErrorsAndDegenerates(t *testing.T) {
+	if _, err := NewPlan(Config{}); err == nil {
+		t.Fatal("NewPlan accepted an invalid config")
+	}
+	c := DefaultConfig()
+	p, err := NewPlan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-1, math.NaN()} {
+		if _, err := p.Solve(bad); err == nil {
+			t.Errorf("Solve(%v) accepted", bad)
+		}
+	}
+	if !math.IsNaN(p.Value(math.NaN())) {
+		t.Error("Value(NaN) not NaN")
+	}
+
+	degen := DefaultConfig()
+	for i := range degen.DPs {
+		degen.DPs[i].Accuracy = 0
+	}
+	dp, err := NewPlan(degen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dp.Breakpoints()); got != 1 {
+		t.Fatalf("all-zero-weight plan has %d breakpoints, want 1 (the off vertex)", got)
+	}
+	a, err := dp.Solve(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Off != degen.Period || a.ActiveTime() != 0 {
+		t.Fatalf("all-zero-weight plan at 5 J: %v, want the full period off", a)
+	}
+	// Every allocation is optimal when all weights are zero; enumerate
+	// happens to pick a different zero-objective vertex, so only the
+	// objective is comparable.
+	en, err := SolveEnumerate(degen, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.Objective(degen) != 0 || a.Objective(degen) != 0 {
+		t.Fatalf("degenerate objectives nonzero: plan %v, enumerate %v",
+			a.Objective(degen), en.Objective(degen))
+	}
+}
+
+// TestControllerPlanFastPath pins the controller's zero-allocation solve
+// path: a controller with a compiled plan steps identically to the
+// simplex default, recompiles on SetAlpha, and rejects mismatched plans.
+func TestControllerPlanFastPath(t *testing.T) {
+	cfg := DefaultConfig()
+	planned, err := NewController(cfg, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planned.SetPlan(p); err != nil {
+		t.Fatal(err)
+	}
+	reference, err := NewController(cfg, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step, h := range []float64{0, 0.5, 3, 9, 30, 1, 0} {
+		a, err := planned.Step(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := reference.Step(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(a.Objective(cfg) - b.Objective(cfg)); d > 1e-9 {
+			t.Fatalf("step %d: plan objective diverges from simplex by %g", step, d)
+		}
+		if d := math.Abs(planned.Battery() - reference.Battery()); d > 1e-9 {
+			t.Fatalf("step %d: battery diverges by %g", step, d)
+		}
+		if err := planned.Report(a.Energy(cfg)); err != nil {
+			t.Fatal(err)
+		}
+		if err := reference.Report(b.Energy(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// SetAlpha recompiles the plan in place.
+	if err := planned.SetAlpha(2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := planned.Step(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := planned.Config()
+	want, err := Solve(cfg2, planned.LastBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(a.Objective(cfg2) - want.Objective(cfg2)); d > 1e-9 {
+		t.Fatalf("after SetAlpha(2): plan objective diverges from simplex by %g", d)
+	}
+
+	// A plan compiled from a different configuration is rejected.
+	other := DefaultConfig()
+	other.Alpha = 3
+	op, err := NewPlan(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planned.SetPlan(op); err == nil {
+		t.Fatal("SetPlan accepted a plan for a different configuration")
+	}
+}
+
+// BenchmarkPlanSolveInto measures the steady-state compiled solve: a
+// binary search plus two multiplies, 0 allocs/op.
+func BenchmarkPlanSolveInto(b *testing.B) {
+	p, err := NewPlan(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var a Allocation
+	budgets := [...]float64{0.05, 1.3, 4.5, 5.0, 7.7, 11.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.SolveInto(budgets[i%len(budgets)], &a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCompile prices NewPlan, the once-per-configuration cost
+// the parametric backend amortizes away.
+func BenchmarkPlanCompile(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPlan(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The weight-hoisting micro-benchmarks price the satellite fix: the
+// enumerate solver's value() used to call math.Pow inside the O(N²)
+// vertex loop; the hoisted weight vector computes the pows once per
+// solve and indexes thereafter.
+func benchWeightConfig() Config {
+	rng := rand.New(rand.NewSource(7))
+	c := Config{Period: 3600, POff: DefaultPOff, Alpha: 1.7}
+	for i := 0; i < 100; i++ {
+		c.DPs = append(c.DPs, DesignPoint{
+			Name:     "dp",
+			Accuracy: rng.Float64(),
+			Power:    1e-3 + rng.Float64()*2e-3,
+		})
+	}
+	return c
+}
+
+// BenchmarkWeightsPerVertexPair is the old pattern: one pow per vertex
+// visit across all N(N+1)/2 candidate pairs.
+func BenchmarkWeightsPerVertexPair(b *testing.B) {
+	c := benchWeightConfig()
+	n := len(c.DPs)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				sink += c.weight(j) + c.weight(k)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkWeightsHoisted is the fixed pattern: one weightVector call
+// per solve, indexed lookups in the pair loop.
+func BenchmarkWeightsHoisted(b *testing.B) {
+	c := benchWeightConfig()
+	n := len(c.DPs)
+	weights := make([]float64, n)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		c.weightVector(weights)
+		for j := 0; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				sink += weights[j] + weights[k]
+			}
+		}
+	}
+	_ = sink
+}

@@ -7,9 +7,9 @@ import (
 	"repro/internal/lp"
 )
 
-// Plan is a multi-period schedule produced by the lookahead planner: one
+// Schedule is a multi-period schedule produced by the lookahead planner: one
 // Allocation per hour plus the planned battery trajectory.
-type Plan struct {
+type Schedule struct {
 	// Allocations holds one schedule per planned period.
 	Allocations []Allocation
 	// Battery holds the planned battery level at the START of each
@@ -41,7 +41,7 @@ type Plan struct {
 // harvest sequence — including total blackouts — and makes its optimum
 // genuinely dominate every myopic schedule. A myopic fallback remains as
 // a defensive path should the solver ever fail numerically.
-func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Plan, error) {
+func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Schedule, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,7 +50,7 @@ func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Plan,
 	}
 	k := len(forecast)
 	if k == 0 {
-		return &Plan{Battery: []float64{battery0}}, nil
+		return &Schedule{Battery: []float64{battery0}}, nil
 	}
 	for _, h := range forecast {
 		if h < 0 || math.IsNaN(h) {
@@ -114,7 +114,7 @@ func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Plan,
 		return lookaheadMyopic(c, battery0, capacity, forecast)
 	}
 
-	plan := &Plan{Battery: []float64{battery0}}
+	plan := &Schedule{Battery: []float64{battery0}}
 	var sumJ float64
 	for kk := 0; kk < k; kk++ {
 		a := Allocation{Active: make([]float64, n)}
@@ -136,8 +136,8 @@ func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Plan,
 // lookaheadMyopic degrades gracefully when the joint LP is infeasible:
 // each hour is planned with Solve against harvest plus whatever the
 // battery holds, exactly like the runtime Controller would.
-func lookaheadMyopic(c Config, battery0, capacity float64, forecast []float64) (*Plan, error) {
-	plan := &Plan{Battery: []float64{battery0}}
+func lookaheadMyopic(c Config, battery0, capacity float64, forecast []float64) (*Schedule, error) {
+	plan := &Schedule{Battery: []float64{battery0}}
 	battery := battery0
 	var sumJ float64
 	for _, h := range forecast {

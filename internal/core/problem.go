@@ -99,6 +99,17 @@ func (c Config) weight(i int) float64 {
 	return math.Pow(c.DPs[i].Accuracy, c.Alpha)
 }
 
+// weightVector fills dst (len(c.DPs) long) with every design point's
+// objective coefficient aᵢ^α. The solvers call it once per solve — and
+// NewPlan once per compilation — so the math.Pow cost stays out of
+// their vertex loops.
+func (c Config) weightVector(dst []float64) []float64 {
+	for i := range dst {
+		dst[i] = c.weight(i)
+	}
+	return dst
+}
+
 // Allocation is the output of the optimizer: how long to run each design
 // point, how long to stay off, and how long the device is dead because the
 // budget cannot even sustain the off state.

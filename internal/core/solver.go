@@ -45,12 +45,14 @@ func SolveContext(ctx context.Context, c Config, budget float64) (Allocation, er
 	}
 
 	n := len(c.DPs)
-	// Variables: t_1..t_N, t_off.
+	// Variables: t_1..t_N, t_off. The weight vector is computed once up
+	// front so math.Pow stays out of the row-building loop.
 	obj := make([]float64, n+1)
+	c.weightVector(obj[:n])
 	timeRow := make([]float64, n+1)
 	energyRow := make([]float64, n+1)
 	for i := 0; i < n; i++ {
-		obj[i] = c.weight(i) / c.Period
+		obj[i] /= c.Period
 		timeRow[i] = 1
 		energyRow[i] = c.DPs[i].Power
 	}
@@ -97,7 +99,10 @@ func SolveEnumerateContext(ctx context.Context, c Config, budget float64) (Alloc
 	}
 
 	n := len(c.DPs)
-	// State i in [0,n) is a design point; state n is "off".
+	// State i in [0,n) is a design point; state n is "off". The weight
+	// vector is hoisted out of the O(N²) vertex loops — value() used to
+	// recompute math.Pow per candidate pair.
+	weights := c.weightVector(make([]float64, n))
 	power := func(i int) float64 {
 		if i == n {
 			return c.POff
@@ -108,9 +113,12 @@ func SolveEnumerateContext(ctx context.Context, c Config, budget float64) (Alloc
 		if i == n {
 			return 0
 		}
-		return c.weight(i)
+		return weights[i]
 	}
 
+	// One scratch allocation for the whole solve: consider overwrites it
+	// in place on improvement instead of allocating a fresh Active slice
+	// per improving vertex (which produced O(N²) garbage per solve).
 	best := Allocation{Active: make([]float64, n), Off: c.Period}
 	bestJ := math.Inf(-1)
 	consider := func(i, j int, ti, tj float64) {
@@ -127,19 +135,21 @@ func SolveEnumerateContext(ctx context.Context, c Config, budget float64) (Alloc
 		if J <= bestJ {
 			return
 		}
-		a := Allocation{Active: make([]float64, n)}
+		for k := range best.Active {
+			best.Active[k] = 0
+		}
+		best.Off, best.Dead = 0, 0
 		if i == n {
-			a.Off = ti
+			best.Off = ti
 		} else {
-			a.Active[i] = ti
+			best.Active[i] = ti
 		}
 		if j == n {
-			a.Off += tj
+			best.Off += tj
 		} else {
-			a.Active[j] += tj
+			best.Active[j] += tj
 		}
 		bestJ = J
-		best = a
 	}
 
 	// Single-state vertices: run state i for the whole period if the

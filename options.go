@@ -35,7 +35,7 @@ type settings struct {
 }
 
 func defaultSettings() *settings {
-	return &settings{cfg: core.DefaultConfig(), solverName: SolverSimplex}
+	return &settings{cfg: core.DefaultConfig(), solverName: DefaultSolver}
 }
 
 func (s *settings) apply(opts []Option) error {
@@ -270,16 +270,44 @@ func New(opts ...Option) (*Controller, error) {
 	if err := s.apply(opts); err != nil {
 		return nil, err
 	}
-	solver, tag, err := s.resolveSolver()
-	if err != nil {
-		return nil, err
-	}
 	ctl, err := core.NewController(s.cfg, s.batteryJ, s.capacityJ)
 	if err != nil {
 		return nil, err
 	}
-	ctl.SetSolveFunc(s.wrapSolveFunc(tag, solver.Solve))
+	if err := s.wireSolver(ctl); err != nil {
+		return nil, err
+	}
 	return ctl, nil
+}
+
+// wireSolver resolves the configured backend and installs it on the
+// controller. The plan backend gets special treatment when solves are
+// uncached: the controller receives the compiled core.Plan directly
+// (SetPlan), so its steady-state step solves with zero allocations
+// instead of round-tripping each solve through the Solver interface.
+// Cached or non-plan backends install the usual SolveFunc, routed
+// through the solve cache when one is configured.
+func (s *settings) wireSolver(ctl *Controller) error {
+	solver, tag, err := s.resolveSolver()
+	if err != nil {
+		return err
+	}
+	return s.wireResolved(ctl, solver, tag)
+}
+
+// wireResolved is wireSolver for a backend the caller already resolved
+// — NewFleet resolves once per fleet (or per overridden device) so that
+// anonymous backends keep one cache tag across all devices.
+func (s *settings) wireResolved(ctl *Controller, solver Solver, tag uint64) error {
+	if pb, ok := solver.(*planBackend); ok && s.solveCache == nil {
+		p, err := pb.planFor(ctl.Config())
+		if err != nil {
+			return err
+		}
+		return ctl.SetPlan(p)
+	}
+	ctl.SetSolveFunc(s.wrapSolveFunc(tag, solver.Solve))
+	return nil
 }
 
 // wrapSolveFunc routes fn through the configured solve cache, if any,

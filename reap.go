@@ -14,7 +14,11 @@
 //     (RegisterSolver, LookupSolver, Solvers) sharing the Solver
 //     interface, with typed sentinel errors (ErrInvalidConfig,
 //     ErrBudgetNegative, ErrInfeasible, ErrUnknownSolver) classified via
-//     errors.Is.
+//     errors.Is. The default backend is "plan", a compiled parametric
+//     solver that turns each configuration into its piecewise-linear
+//     budget→value envelope once and answers every solve with a binary
+//     search; "simplex" (the paper's Algorithm 1) and "enumerate"
+//     remain as exact cross-checks.
 //   - Options layer: New and NewConfig assemble sessions and
 //     configurations from functional options (WithDesignPoints,
 //     WithAlpha, WithPeriod, WithSolver, WithBattery, ...).
@@ -27,7 +31,7 @@
 // # Quick start
 //
 //	cfg, _ := reap.NewConfig()               // the paper's five Table 2 DPs
-//	solver, _ := reap.LookupSolver(reap.SolverSimplex)
+//	solver, _ := reap.LookupSolver(reap.DefaultSolver)
 //	alloc, err := solver.Solve(ctx, cfg, 5.0) // 5 J budget for this hour
 //	if err != nil { ... }
 //	fmt.Println(alloc)                       // dp4:42.9% dp5:57.1%

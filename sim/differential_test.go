@@ -48,39 +48,43 @@ func allocOf(r *StepRecord) reap.Allocation {
 	return reap.Allocation{Active: r.Active, Off: r.OffS, Dead: r.DeadS}
 }
 
-// TestDifferentialBackends runs every library scenario through both the
-// simplex and enumerate backends, uncached, and requires the two closed
-// loops to agree step for step: same LP budgets, same planned energy,
-// same objective, same battery trajectory. Per-step solver differences
-// are at floating-point noise level and the loop is contractive, so the
-// tolerance holds over the whole horizon.
+// TestDifferentialBackends runs every library scenario through the
+// simplex, enumerate and plan backends, uncached, and requires the
+// closed loops to agree step for step: same LP budgets, same planned
+// energy, same objective, same battery trajectory. Simplex is the
+// reference; enumerate and the compiled parametric plan must each track
+// it. Per-step solver differences are at floating-point noise level and
+// the loop is contractive, so the tolerance holds over the whole
+// horizon.
 func TestDifferentialBackends(t *testing.T) {
 	const tol = 1e-6
 	for _, sc := range Library() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			a := variant(t, sc, reap.SolverSimplex, false, 0)
-			b := variant(t, sc, reap.SolverEnumerate, false, 0)
-			if len(a.Trace.Records) != len(b.Trace.Records) {
-				t.Fatalf("record counts differ: %d vs %d", len(a.Trace.Records), len(b.Trace.Records))
-			}
-			for i := range a.Trace.Records {
-				ra, rb := &a.Trace.Records[i], &b.Trace.Records[i]
-				cfg := a.Configs[ra.Device]
-				if d := math.Abs(ra.SolveBudgetJ - rb.SolveBudgetJ); d > tol {
-					t.Fatalf("step %d dev %d: LP budgets diverged by %g", ra.Step, ra.Device, d)
+			for _, solver := range []string{reap.SolverEnumerate, reap.SolverPlan} {
+				b := variant(t, sc, solver, false, 0)
+				if len(a.Trace.Records) != len(b.Trace.Records) {
+					t.Fatalf("%s: record counts differ: %d vs %d", solver, len(a.Trace.Records), len(b.Trace.Records))
 				}
-				if d := math.Abs(ra.PlannedJ - rb.PlannedJ); d > tol {
-					t.Fatalf("step %d dev %d: planned energy diverged by %g", ra.Step, ra.Device, d)
-				}
-				ja := allocOf(ra).Objective(cfg)
-				jb := allocOf(rb).Objective(cfg)
-				if d := math.Abs(ja - jb); d > tol {
-					t.Fatalf("step %d dev %d: objectives diverged by %g (%v vs %v)",
-						ra.Step, ra.Device, d, ja, jb)
-				}
-				if d := math.Abs(ra.BatteryJ - rb.BatteryJ); d > 1e-5 {
-					t.Fatalf("step %d dev %d: battery trajectories diverged by %g", ra.Step, ra.Device, d)
+				for i := range a.Trace.Records {
+					ra, rb := &a.Trace.Records[i], &b.Trace.Records[i]
+					cfg := a.Configs[ra.Device]
+					if d := math.Abs(ra.SolveBudgetJ - rb.SolveBudgetJ); d > tol {
+						t.Fatalf("%s step %d dev %d: LP budgets diverged by %g", solver, ra.Step, ra.Device, d)
+					}
+					if d := math.Abs(ra.PlannedJ - rb.PlannedJ); d > tol {
+						t.Fatalf("%s step %d dev %d: planned energy diverged by %g", solver, ra.Step, ra.Device, d)
+					}
+					ja := allocOf(ra).Objective(cfg)
+					jb := allocOf(rb).Objective(cfg)
+					if d := math.Abs(ja - jb); d > tol {
+						t.Fatalf("%s step %d dev %d: objectives diverged by %g (%v vs %v)",
+							solver, ra.Step, ra.Device, d, ja, jb)
+					}
+					if d := math.Abs(ra.BatteryJ - rb.BatteryJ); d > 1e-5 {
+						t.Fatalf("%s step %d dev %d: battery trajectories diverged by %g", solver, ra.Step, ra.Device, d)
+					}
 				}
 			}
 		})
@@ -89,14 +93,14 @@ func TestDifferentialBackends(t *testing.T) {
 
 // TestDifferentialCacheExactMode requires the cache's exact mode (zero
 // resolution: budgets keyed by bit pattern, dedup only) to reproduce
-// the uncached run bit for bit, under both backends, for every
+// the uncached run bit for bit, under all three backends, for every
 // scenario — the cache layer must be invisible when it does not
 // quantize.
 func TestDifferentialCacheExactMode(t *testing.T) {
 	for _, sc := range Library() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			for _, solver := range []string{reap.SolverSimplex, reap.SolverEnumerate} {
+			for _, solver := range []string{reap.SolverSimplex, reap.SolverEnumerate, reap.SolverPlan} {
 				uncached := variant(t, sc, solver, false, 0)
 				exact := variant(t, sc, solver, true, -1)
 				if !reflect.DeepEqual(uncached.Trace.Records, exact.Trace.Records) {
@@ -114,7 +118,7 @@ func TestDifferentialCacheExactMode(t *testing.T) {
 }
 
 // TestDifferentialCachedWithinQuantizationBound runs every scenario
-// cached at the default 1 mJ resolution, under both backends, and
+// cached at the default 1 mJ resolution, under all three backends, and
 // checks each step of the cached closed loop against an exact solve at
 // the same LP budget: the cached plan must stay feasible (never spend
 // more than the true budget) and its objective must sit within the
@@ -132,7 +136,7 @@ func TestDifferentialCachedWithinQuantizationBound(t *testing.T) {
 	for _, sc := range Library() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			for _, solver := range []string{reap.SolverSimplex, reap.SolverEnumerate} {
+			for _, solver := range []string{reap.SolverSimplex, reap.SolverEnumerate, reap.SolverPlan} {
 				res := variant(t, sc, solver, true, resolution)
 				for i := range res.Trace.Records {
 					r := &res.Trace.Records[i]

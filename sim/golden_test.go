@@ -59,6 +59,55 @@ func TestGoldenTraces(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesPlanBackend guards the default-backend flip to
+// "plan". The sim package deliberately resolves an unset
+// Scenario.Solver to simplex — not to reap.DefaultSolver — so the
+// golden traces stay pinned to the paper's Algorithm 1 across registry
+// default changes. This test covers the flip anyway: every library
+// scenario that does not name a backend (cloudy-bursts pins enumerate)
+// is re-run with the compiled parametric plan and must reproduce its
+// checked-in golden trace byte for byte. Only the header's solver=
+// token may differ, since the trace honestly records which backend
+// ran; every record line — budgets, allocations, planned energy,
+// batteries, accuracies — must be byte-identical to the
+// simplex-generated golden. No golden is regenerated for the flip: the
+// parametric solver is exact enough that the fixed-point trace
+// encoding cannot tell it apart from the paper's Algorithm 1.
+func TestGoldenTracesPlanBackend(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	covered := 0
+	for _, sc := range Library() {
+		if sc.Solver != "" {
+			continue // pinned to a specific backend; not affected by the default
+		}
+		sc := sc
+		covered++
+		t.Run(sc.Name, func(t *testing.T) {
+			sc.Solver = "plan"
+			res, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Trace.Bytes()
+			// Normalize the single header token that names the backend;
+			// everything else must match exactly.
+			got = bytes.Replace(got, []byte("solver=plan"), []byte("solver=simplex"), 1)
+			want, err := os.ReadFile(filepath.Join("testdata", sc.Name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("plan backend diverged from the golden trace:\n%s", firstDiff(got, want))
+			}
+		})
+	}
+	if covered == 0 {
+		t.Fatal("no library scenario runs on the default backend")
+	}
+}
+
 // firstDiff renders the first differing line of two trace encodings.
 func firstDiff(got, want []byte) string {
 	g := bytes.Split(got, []byte("\n"))

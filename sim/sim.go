@@ -70,8 +70,12 @@ type Scenario struct {
 	HarvestScale, DeviceJitter float64
 
 	// Alpha, BatteryJ, CapacityJ configure every controller (refine per
-	// device with PerDevice). Solver names the registry backend
-	// (default simplex); Workers bounds StepAll's pool (0 = GOMAXPROCS).
+	// device with PerDevice). Solver names the registry backend; an
+	// empty Solver resolves to simplex — deliberately pinned, rather
+	// than following reap.DefaultSolver, so golden traces cannot move
+	// when the registry default changes (the golden harness separately
+	// asserts the plan backend reproduces them byte-for-byte). Workers
+	// bounds StepAll's pool (0 = GOMAXPROCS).
 	Alpha               float64
 	BatteryJ, CapacityJ float64
 	Solver              string

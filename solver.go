@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -30,12 +31,26 @@ func (f SolverFunc) Solve(ctx context.Context, cfg Config, budget float64) (Allo
 // Names of the built-in solver backends, registered at init.
 const (
 	// SolverSimplex is the paper's Algorithm 1: a dense two-phase simplex
-	// over the period and budget constraints. The default backend.
+	// over the period and budget constraints. Kept as the reference
+	// implementation and cross-check for the plan backend.
 	SolverSimplex = "simplex"
 	// SolverEnumerate solves the same LP by direct vertex enumeration —
 	// an independent cross-check that is faster for small design sets.
 	SolverEnumerate = "enumerate"
+	// SolverPlan is the compiled parametric backend: each configuration
+	// compiles once into its budget-parametric solved form (the concave
+	// budget→value envelope, see core.Plan), after which every solve is
+	// a binary search over the envelope's breakpoints plus two
+	// multiplies. Exact — same optimum as simplex and enumerate to
+	// floating-point noise — and the default backend.
+	SolverPlan = "plan"
 )
+
+// DefaultSolver is the backend New, NewFleet and SolveBatch use when no
+// option or request names one: the compiled parametric plan. The
+// simplex and enumerate backends remain registered as cross-checks and
+// for callers that pin the paper's Algorithm 1.
+const DefaultSolver = SolverPlan
 
 var solverRegistry = struct {
 	sync.RWMutex
@@ -45,6 +60,60 @@ var solverRegistry = struct {
 func init() {
 	mustRegisterSolver(SolverSimplex, SolverFunc(core.SolveContext))
 	mustRegisterSolver(SolverEnumerate, SolverFunc(core.SolveEnumerateContext))
+	mustRegisterSolver(SolverPlan, &planBackend{})
+}
+
+// planBackend adapts core.Plan to the Solver interface: it memoizes one
+// compiled plan per configuration fingerprint, so fleets, batches and
+// repeated solves against the same Config pay compilation (validation,
+// the aᵢ^α powers, the envelope sort and hull) exactly once. Like the
+// solve cache, entries are keyed by Config.Fingerprint(); a cross-
+// configuration hash collision (~2⁻⁶⁴ per pair) would serve the wrong
+// plan — callers needing hard isolation can compile core plans
+// themselves. The memo is capped: beyond planBackendMaxPlans distinct
+// configurations, additional configs compile per solve instead of
+// growing the map (adversarial workloads stay bounded; real fleets use
+// a handful of configurations).
+type planBackend struct {
+	plans sync.Map // Config.Fingerprint() → *core.Plan
+	count atomic.Int64
+}
+
+const planBackendMaxPlans = 4096
+
+// planFor returns the compiled plan for cfg, compiling and memoizing on
+// first sight.
+func (pb *planBackend) planFor(cfg Config) (*core.Plan, error) {
+	fp := cfg.Fingerprint()
+	if v, ok := pb.plans.Load(fp); ok {
+		return v.(*core.Plan), nil
+	}
+	p, err := core.NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pb.count.Load() >= planBackendMaxPlans {
+		return p, nil
+	}
+	if v, loaded := pb.plans.LoadOrStore(fp, p); loaded {
+		return v.(*core.Plan), nil
+	}
+	pb.count.Add(1)
+	return p, nil
+}
+
+// Solve implements Solver. Argument checks mirror the iterative
+// backends: context first, then configuration (on compilation — an
+// invalid config never memoizes, so it fails every call), then budget.
+func (pb *planBackend) Solve(ctx context.Context, cfg Config, budget float64) (Allocation, error) {
+	if err := ctx.Err(); err != nil {
+		return Allocation{}, err
+	}
+	p, err := pb.planFor(cfg)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return p.Solve(budget)
 }
 
 func mustRegisterSolver(name string, s Solver) {

@@ -9,7 +9,7 @@ import (
 
 func TestSolverRegistryBuiltins(t *testing.T) {
 	names := Solvers()
-	want := map[string]bool{SolverSimplex: false, SolverEnumerate: false}
+	want := map[string]bool{SolverSimplex: false, SolverEnumerate: false, SolverPlan: false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -56,10 +56,13 @@ func TestRegisterSolverValidation(t *testing.T) {
 	}
 }
 
-// TestBackendsAgreeAcrossRegions is the acceptance sweep: both registered
-// backends must produce identical allocations on the paper's Table 2
-// configuration across every Figure 5 operating region, including the
-// region boundaries themselves.
+// TestBackendsAgreeAcrossRegions is the acceptance sweep: all three
+// registered backends must produce identical allocations on the paper's
+// Table 2 configuration across every Figure 5 operating region,
+// including the region boundaries themselves. The plan backend is held
+// to the same allocation-level agreement as the iterative pair — on a
+// generic-position design set like Table 2 the LP optimum is unique, so
+// the backends may differ only by floating-point noise.
 func TestBackendsAgreeAcrossRegions(t *testing.T) {
 	ctx := context.Background()
 	cfg, err := NewConfig()
@@ -67,10 +70,6 @@ func TestBackendsAgreeAcrossRegions(t *testing.T) {
 		t.Fatal(err)
 	}
 	simplex, err := LookupSolver(SolverSimplex)
-	if err != nil {
-		t.Fatal(err)
-	}
-	enum, err := LookupSolver(SolverEnumerate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,28 +86,81 @@ func TestBackendsAgreeAcrossRegions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("simplex at %v J: %v", budget, err)
 		}
-		a2, err := enum.Solve(ctx, cfg, budget)
-		if err != nil {
-			t.Fatalf("enumerate at %v J: %v", budget, err)
-		}
-		if math.Abs(a1.Objective(cfg)-a2.Objective(cfg)) > 1e-9 {
-			t.Fatalf("objectives disagree at %v J: simplex %v enumerate %v",
-				budget, a1.Objective(cfg), a2.Objective(cfg))
-		}
-		for i := range a1.Active {
-			if math.Abs(a1.Active[i]-a2.Active[i]) > 1e-6 {
-				t.Fatalf("allocations disagree at %v J (%s): %v vs %v",
-					budget, Classify(cfg, budget), a1, a2)
+		for _, name := range []string{SolverEnumerate, SolverPlan} {
+			other, err := LookupSolver(name)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		if math.Abs(a1.Off-a2.Off) > 1e-6 || math.Abs(a1.Dead-a2.Dead) > 1e-6 {
-			t.Fatalf("off/dead disagree at %v J: %v vs %v", budget, a1, a2)
+			a2, err := other.Solve(ctx, cfg, budget)
+			if err != nil {
+				t.Fatalf("%s at %v J: %v", name, budget, err)
+			}
+			if math.Abs(a1.Objective(cfg)-a2.Objective(cfg)) > 1e-9 {
+				t.Fatalf("objectives disagree at %v J: simplex %v %s %v",
+					budget, a1.Objective(cfg), name, a2.Objective(cfg))
+			}
+			for i := range a1.Active {
+				if math.Abs(a1.Active[i]-a2.Active[i]) > 1e-6 {
+					t.Fatalf("allocations disagree at %v J (%s): simplex %v vs %s %v",
+						budget, Classify(cfg, budget), a1, name, a2)
+				}
+			}
+			if math.Abs(a1.Off-a2.Off) > 1e-6 || math.Abs(a1.Dead-a2.Dead) > 1e-6 {
+				t.Fatalf("off/dead disagree at %v J: simplex %v vs %s %v", budget, a1, name, a2)
+			}
 		}
 		regions[Classify(cfg, budget)]++
 	}
 	for _, r := range []Region{RegionDead, Region1, Region2, Region3} {
 		if regions[r] == 0 {
 			t.Errorf("sweep never visited %v", r)
+		}
+	}
+}
+
+// TestDefaultBackendIsPlanAndCacheExact pins the default flip: New runs
+// on the compiled plan backend, and wrapping the plan in an exact-mode
+// solve cache (zero resolution) stays bit-identical to the uncached
+// plan — the cache must remain invisible when it does not quantize,
+// whatever backend it wraps.
+func TestDefaultBackendIsPlanAndCacheExact(t *testing.T) {
+	if DefaultSolver != SolverPlan {
+		t.Fatalf("DefaultSolver = %q, want %q", DefaultSolver, SolverPlan)
+	}
+	uncached, err := New(WithBattery(20, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := New(WithBattery(20, 100), WithSolveCache(1024, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvests := []float64{0, 0.3, 2.2, 5, 9.936, 30, 0.1, 4.5, 5, 5}
+	for step, h := range harvests {
+		a, err := uncached.Step(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cached.Step(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Active {
+			if a.Active[i] != b.Active[i] {
+				t.Fatalf("step %d: exact-mode cached plan diverges: %v vs %v", step, a, b)
+			}
+		}
+		if a.Off != b.Off || a.Dead != b.Dead {
+			t.Fatalf("step %d: off/dead diverge: %v vs %v", step, a, b)
+		}
+		if uncached.Battery() != cached.Battery() {
+			t.Fatalf("step %d: batteries diverge: %v vs %v", step, uncached.Battery(), cached.Battery())
+		}
+		if err := uncached.Report(a.Energy(uncached.Config())); err != nil {
+			t.Fatal(err)
+		}
+		if err := cached.Report(b.Energy(cached.Config())); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -120,7 +172,7 @@ func TestSolverContextCancelled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{SolverSimplex, SolverEnumerate} {
+	for _, name := range []string{SolverSimplex, SolverEnumerate, SolverPlan} {
 		s, err := LookupSolver(name)
 		if err != nil {
 			t.Fatal(err)
