@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fpx"
 )
 
 // Fleet owns one Controller session per device and steps them all
@@ -29,6 +30,13 @@ type Fleet struct {
 	ctls    []*Controller
 	workers int
 	cache   *SolveCache
+
+	// errs and started are stepAllInto's per-tick scratch, hoisted here so
+	// a steady-state fleet tick allocates nothing. StepAll/Run are
+	// documented as not concurrency-safe with themselves, so one scratch
+	// set per fleet suffices.
+	errs    []error
+	started []bool
 }
 
 // NewFleet creates n controller sessions from the same options New
@@ -55,7 +63,13 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{ctls: make([]*Controller, n), workers: s.workers, cache: s.solveCache}
+	f := &Fleet{
+		ctls:    make([]*Controller, n),
+		workers: s.workers,
+		cache:   s.solveCache,
+		errs:    make([]error, n),
+		started: make([]bool, n),
+	}
 	for i := range f.ctls {
 		ds, dSolver, dTag := s, solver, tag
 		if s.deviceOverride != nil {
@@ -134,24 +148,41 @@ func (f *Fleet) StepAll(ctx context.Context, budgets []float64) ([]Allocation, e
 }
 
 // stepAllInto is StepAll writing into a caller-owned allocation slice:
-// each device steps with StepInto, so on the uncached plan path a
+// each device steps with StepInto, so on the plan and cache-hit paths a
 // reused allocs slice (Fleet.Run's loop) makes the whole fleet tick
-// allocation-free per device in steady state. Entries of failed or
-// unstarted devices are reset to the zero Allocation.
+// allocation-free per device in steady state — the single-worker case
+// even avoids the worker-pool closure. Entries of failed or unstarted
+// devices are reset to the zero Allocation.
+//
+//reap:hotpath
 func (f *Fleet) stepAllInto(ctx context.Context, budgets []float64, allocs []Allocation) error {
-	errs := make([]error, len(f.ctls))
-	started := make([]bool, len(f.ctls))
-	f.run(ctx, len(f.ctls), func(i int) {
-		started[i] = true
-		if err := f.ctls[i].StepInto(ctx, budgets[i], &allocs[i]); err != nil {
-			errs[i] = fmt.Errorf("device %d: %w", i, err)
+	errs, started := f.errs, f.started
+	for i := range errs {
+		errs[i], started[i] = nil, false
+	}
+	if f.workerCount(len(f.ctls)) == 1 {
+		for i := range f.ctls {
+			if ctx.Err() != nil {
+				break
+			}
+			started[i] = true
+			if err := f.ctls[i].StepInto(ctx, budgets[i], &allocs[i]); err != nil {
+				errs[i] = fmt.Errorf("device %d: %w", i, err) //lint:reapvet hotalloc -- cold error path
+			}
 		}
-	})
+	} else {
+		f.run(ctx, len(f.ctls), func(i int) { //lint:reapvet hotalloc -- one closure per multi-worker tick, not per device
+			started[i] = true
+			if err := f.ctls[i].StepInto(ctx, budgets[i], &allocs[i]); err != nil {
+				errs[i] = fmt.Errorf("device %d: %w", i, err) //lint:reapvet hotalloc -- cold error path
+			}
+		})
+	}
 	if err := ctx.Err(); err != nil {
 		for i := range errs {
 			if !started[i] {
 				allocs[i] = Allocation{}
-				errs[i] = fmt.Errorf("device %d: not stepped: %w", i, err)
+				errs[i] = fmt.Errorf("device %d: not stepped: %w", i, err) //lint:reapvet hotalloc -- cold cancellation path
 			}
 		}
 	}
@@ -242,9 +273,9 @@ func (f *Fleet) Run(ctx context.Context, steps int, src HarvestSource, model Con
 	return nil
 }
 
-// run executes work(0..n-1) on the fleet's worker pool, stopping early
-// when ctx is cancelled.
-func (f *Fleet) run(ctx context.Context, n int, work func(i int)) {
+// workerCount resolves the pool width for n work items: the WithWorkers
+// setting, defaulting to GOMAXPROCS, never wider than the work.
+func (f *Fleet) workerCount(n int) int {
 	workers := f.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -252,7 +283,13 @@ func (f *Fleet) run(ctx context.Context, n int, work func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	poolRun(ctx, workers, n, work)
+	return workers
+}
+
+// run executes work(0..n-1) on the fleet's worker pool, stopping early
+// when ctx is cancelled.
+func (f *Fleet) run(ctx context.Context, n int, work func(i int)) {
+	poolRun(ctx, f.workerCount(n), n, work)
 }
 
 // poolChunk is how many indices a worker claims at a time. One solve
@@ -399,5 +436,5 @@ func SolveBatch(ctx context.Context, reqs []Request, opts ...Option) []Result {
 }
 
 func isZeroConfig(c Config) bool {
-	return c.Period == 0 && c.POff == 0 && c.Alpha == 0 && c.DPs == nil
+	return fpx.Zero(c.Period) && fpx.Zero(c.POff) && fpx.Zero(c.Alpha) && c.DPs == nil
 }

@@ -1,0 +1,270 @@
+// Package analysis is the repo's own miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer, Pass
+// and Diagnostic machinery to host the reapvet suite without pulling a
+// dependency the build environment cannot fetch. The API mirrors the
+// upstream shapes deliberately, so the suite ports to the real
+// framework by swapping import paths if x/tools ever lands in go.mod.
+//
+// Two project-specific conventions live here because every analyzer
+// shares them:
+//
+//   - Hot-path annotation: a function whose doc comment contains a line
+//     starting with "//reap:hotpath" opts into the hotalloc analyzer's
+//     allocation ban.
+//
+//   - Suppression: a diagnostic is suppressed by a comment
+//
+//     //lint:reapvet <analyzer...> -- <reason>
+//
+//     on the flagged line or the line above it. The analyzer list may
+//     be empty (suppresses every analyzer on that line), and the reason
+//     after " -- " is mandatory: a suppression without a reason is
+//     itself reported, so every escape hatch in the tree documents why
+//     it exists.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check: a name, a human description, and a
+// Run function invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:reapvet suppression comments.
+	Name string
+	// Doc is the one-paragraph description printed by reapvet's usage.
+	Doc string
+	// Run inspects one package and reports findings through
+	// Pass.Reportf. The returned error aborts the whole run (loader or
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, test files excluded.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's object and type resolutions
+	// for Files.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Path returns the package's import path.
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: which analyzer, where, and what.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// A Package is a loaded, type-checked package ready for analysis; the
+// load package produces them.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics: suppressed findings are dropped, malformed suppressions
+// are themselves reported, and the result is sorted by position for
+// deterministic output.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+		}
+		diags = append(diags, sup.filter(pkgDiags)...)
+		diags = append(diags, sup.malformed...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppressionPrefix starts every suppression comment.
+const suppressionPrefix = "//lint:reapvet"
+
+// A suppression covers one source line for a set of analyzers (empty =
+// all), provided it carries a reason.
+type suppression struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+func (s suppression) covers(d Diagnostic) bool {
+	if d.Position.Filename != s.file {
+		return false
+	}
+	// A suppression shields its own line and the line below, so it can
+	// sit either trailing the flagged expression or on its own line
+	// immediately above it.
+	if d.Position.Line != s.line && d.Position.Line != s.line+1 {
+		return false
+	}
+	if len(s.analyzers) == 0 {
+		return true
+	}
+	for _, name := range s.analyzers {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+type suppressionSet struct {
+	sups      []suppression
+	malformed []Diagnostic
+}
+
+// collectSuppressions scans every comment for //lint:reapvet markers.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	var set suppressionSet
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, suppressionPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, suppressionPrefix)
+				spec, reason, hasReason := strings.Cut(rest, " -- ")
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						Analyzer: "reapvet",
+						Position: pos,
+						Message:  "suppression comment needs a reason: //lint:reapvet [analyzers] -- why",
+					})
+					continue
+				}
+				set.sups = append(set.sups, suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Fields(spec),
+				})
+			}
+		}
+	}
+	return set
+}
+
+func (s suppressionSet) filter(diags []Diagnostic) []Diagnostic {
+	if len(s.sups) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+outer:
+	for _, d := range diags {
+		for _, sup := range s.sups {
+			if sup.covers(d) {
+				continue outer
+			}
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// hotpathMarker is the doc-comment annotation that opts a function into
+// the hotalloc analyzer.
+const hotpathMarker = "//reap:hotpath"
+
+// IsHotPath reports whether the function declaration carries a
+// //reap:hotpath annotation in its doc comment.
+func IsHotPath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgOf resolves an identifier used as a package qualifier (the "fmt"
+// in fmt.Errorf) to the imported package's path, or "".
+func PkgOf(info *types.Info, ident *ast.Ident) string {
+	if obj, ok := info.Uses[ident].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// CalleePkgFunc splits a call to a package-level function of an
+// imported package into (package path, function name); other calls
+// (methods, locals, builtins) return ("", "").
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	path := PkgOf(info, ident)
+	if path == "" {
+		return "", ""
+	}
+	return path, sel.Sel.Name
+}

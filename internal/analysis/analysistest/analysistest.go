@@ -1,0 +1,124 @@
+// Package analysistest runs one analyzer over a fixture package and
+// diffs its diagnostics against // want comments — the in-repo
+// equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under a testdata/ directory (invisible to the
+// go tool, so fixtures may violate every invariant on purpose) and are
+// loaded with the import path the test claims for them — analyzers
+// scoped by package path (errtaxonomy, ctxflow) see whatever boundary
+// the fixture wants to simulate.
+//
+// Expectations are trailing comments on the offending line:
+//
+//	return errors.New("boom") // want `wraps no sentinel`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match exactly one diagnostic reported on that
+// line; diagnostics with no matching expectation, and expectations with
+// no matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run loads fixtureDir as a package named importPath, applies the
+// analyzer, and asserts its diagnostics match the fixture's // want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, importPath string) {
+	t.Helper()
+	pkg, err := load.Dir(".", fixtureDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pattern := range parsePatterns(t, pos, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits `"re1" "re2"` or backquoted equivalents.
+func parsePatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var patterns []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted strings, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+2]
+		pattern, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+		}
+		patterns = append(patterns, pattern)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return patterns
+}

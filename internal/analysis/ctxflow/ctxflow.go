@@ -1,0 +1,120 @@
+// Package ctxflow enforces the repo's context-plumbing invariant:
+// cancellation flows from the caller through every solve path.
+//
+// Two diagnostics:
+//
+//  1. Library code must not mint root contexts. A call to
+//     context.Background() or context.TODO() anywhere outside cmd/ and
+//     examples/ severs the caller's cancellation; the three public
+//     context-less convenience shims (Controller.Step, core.Solve,
+//     core.SolveEnumerate) carry documented suppressions and every new
+//     one must argue for its own.
+//
+//  2. A context parameter must be used. An exported function that
+//     accepts a context.Context and then never reads it advertises
+//     cancellation it does not deliver; either plumb it through or
+//     name the parameter _ to declare the drop at the signature.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces context plumbing.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO in library code and flag exported " +
+		"functions that accept a context.Context but drop it",
+	Run: run,
+}
+
+// rootContextExempt reports whether the package may mint root contexts:
+// binaries own their lifecycle, libraries inherit it.
+func rootContextExempt(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "repro/cmd/") ||
+		strings.HasPrefix(pkgPath, "repro/examples/")
+}
+
+func run(pass *analysis.Pass) error {
+	exempt := rootContextExempt(pass.Path())
+	for _, file := range pass.Files {
+		if !exempt {
+			checkRootContexts(pass, file)
+		}
+		checkDroppedParams(pass, file)
+	}
+	return nil
+}
+
+func checkRootContexts(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := analysis.CalleePkgFunc(pass.TypesInfo, call)
+		if pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(),
+				"library code must not call context.%s: accept a context.Context and pass it through", name)
+		}
+		return true
+	})
+}
+
+func checkDroppedParams(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !fn.Name.IsExported() {
+			continue
+		}
+		for _, field := range fn.Type.Params.List {
+			if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue // an explicit, visible drop
+				}
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if !objUsed(pass.TypesInfo, obj, fn.Body) {
+					pass.Reportf(name.Pos(),
+						"%s takes a context.Context %q but never uses it: pass it through or rename it _",
+						fn.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// objUsed reports whether obj is referenced anywhere inside body.
+func objUsed(info *types.Info, obj types.Object, body *ast.BlockStmt) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if ident, ok := n.(*ast.Ident); ok && info.Uses[ident] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxflowLibrary(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/lib", "repro/internal/fixture")
+}
+
+// TestCtxflowCmd checks the cmd/ exemption: root contexts are legal in
+// binaries, dropped context parameters are not.
+func TestCtxflowCmd(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/cmd", "repro/cmd/fixture")
+}

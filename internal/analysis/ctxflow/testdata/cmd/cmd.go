@@ -1,0 +1,23 @@
+// Fixture loaded under a repro/cmd/ import path: binaries own their
+// lifecycle, so minting root contexts is legal — but dropping a context
+// parameter is still a bug.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // negative: cmd/ may mint root contexts
+	Use(ctx, 1)
+	Drop(ctx, 1)
+}
+
+// Use plumbs its context: fine.
+func Use(ctx context.Context, x float64) float64 {
+	<-ctx.Done()
+	return x
+}
+
+// Drop ignores its context even in a binary.
+func Drop(ctx context.Context, x float64) float64 { // want `Drop takes a context\.Context "ctx" but never uses it`
+	return x
+}

@@ -1,0 +1,49 @@
+// Fixture for the ctxflow analyzer, loaded as a library package:
+// root contexts are banned and exported functions must use their ctx.
+package lib
+
+import "context"
+
+// Solve stands in for a context-taking solve path.
+func Solve(ctx context.Context, x float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+// Background mints a root context in library code.
+func Background(x float64) float64 {
+	return Solve(context.Background(), x) // want `library code must not call context\.Background`
+}
+
+// Todo mints the other root context.
+func Todo(x float64) float64 {
+	return Solve(context.TODO(), x) // want `library code must not call context\.TODO`
+}
+
+// Dropped accepts a context and never reads it.
+func Dropped(ctx context.Context, x float64) float64 { // want `Dropped takes a context\.Context "ctx" but never uses it`
+	return x
+}
+
+// Plumbed passes its context through: the good case.
+func Plumbed(ctx context.Context, x float64) float64 {
+	return Solve(ctx, x)
+}
+
+// Declared uses the blank identifier to declare the drop: allowed.
+func Declared(_ context.Context, x float64) float64 {
+	return x
+}
+
+// dropped is unexported: its signature is not a public promise, so the
+// dropped-parameter rule leaves it to reviewers.
+func dropped(ctx context.Context, x float64) float64 {
+	return x
+}
+
+// Shim shows the suppression escape hatch for compatibility shims.
+func Shim(x float64) float64 {
+	return Solve(context.Background(), x) //lint:reapvet ctxflow -- fixture: context-less compatibility shim
+}

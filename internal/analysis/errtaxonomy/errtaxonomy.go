@@ -1,0 +1,113 @@
+// Package errtaxonomy enforces the sentinel-error taxonomy at the
+// public boundary of the solver packages.
+//
+// PR 1 established the contract that every error the library returns
+// wraps one of the package sentinels (ErrInvalidConfig,
+// ErrBudgetNegative, ErrInfeasible, ErrSolverFailure, ErrUnknownSolver
+// in reap/internal/core; the lp package's own Err* set below it), so
+// callers classify failures with errors.Is instead of string matching.
+// That contract breaks silently the first time someone returns a fresh
+// fmt.Errorf with no %w: errors.Is starts answering false and nothing
+// fails until a caller's switch misroutes in production.
+//
+// The analyzer checks every return statement of every exported function
+// or method in the scoped packages (repro, repro/internal/core,
+// repro/internal/lp). A returned error expression that is a direct call
+// to errors.New, or to fmt.Errorf whose format string contains no %w
+// verb, is a diagnostic: the error it constructs wraps nothing, so it
+// cannot satisfy errors.Is against any sentinel. Errors built
+// elsewhere and returned through variables are trusted — the analyzer
+// polices construction at the boundary, not full dataflow — which in
+// practice is where every historical violation sat.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// scoped lists the packages whose public boundary the taxonomy governs.
+var scoped = map[string]bool{
+	"repro":               true,
+	"repro/internal/core": true,
+	"repro/internal/lp":   true,
+}
+
+// Analyzer enforces sentinel wrapping at the public boundary.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "errors returned by exported functions of repro, internal/core and " +
+		"internal/lp must wrap a sentinel via %w so errors.Is keeps working",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scoped[pass.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects the return statements that belong to fn itself
+// (not to closures nested inside it, whose results do not cross the
+// public boundary directly).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, result := range n.Results {
+				checkResult(pass, fn, result)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func checkResult(pass *analysis.Pass, fn *ast.FuncDecl, result ast.Expr) {
+	call, ok := result.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	pkg, name := analysis.CalleePkgFunc(pass.TypesInfo, call)
+	switch {
+	case pkg == "errors" && name == "New":
+		pass.Reportf(call.Pos(),
+			"%s returns errors.New(...), which wraps no sentinel: wrap one with fmt.Errorf(\"%%w: ...\", Err...)",
+			fn.Name.Name)
+	case pkg == "fmt" && name == "Errorf":
+		if format, ok := formatLiteral(call); ok && !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"%s returns fmt.Errorf without %%w, so errors.Is cannot reach a sentinel: wrap one with %%w",
+				fn.Name.Name)
+		}
+	}
+}
+
+// formatLiteral extracts fmt.Errorf's format string when it is a plain
+// string literal (the only form the codebase uses; computed formats are
+// left to reviewers).
+func formatLiteral(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	return lit.Value, true
+}

@@ -1,0 +1,19 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errtaxonomy"
+)
+
+func TestErrtaxonomyInScope(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/core", "repro/internal/core")
+}
+
+// TestErrtaxonomyOutOfScope loads the same violations under a support
+// package path: no diagnostics, the taxonomy governs only the solver
+// packages' boundaries.
+func TestErrtaxonomyOutOfScope(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/outofscope", "repro/internal/dsp")
+}

@@ -1,0 +1,70 @@
+// Fixture for the errtaxonomy analyzer, loaded as repro/internal/core:
+// errors crossing the public boundary must wrap a sentinel.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel definitions are legal uses of errors.New — they ARE the
+// taxonomy.
+var (
+	ErrInvalidConfig  = errors.New("core: invalid configuration")
+	ErrBudgetNegative = errors.New("core: energy budget must be non-negative")
+)
+
+// Fresh returns a brand-new error that wraps nothing.
+func Fresh() error {
+	return errors.New("boom") // want `Fresh returns errors\.New\(\.\.\.\), which wraps no sentinel`
+}
+
+// Unwrapped formats without %w, severing the errors.Is chain.
+func Unwrapped(budget float64) error {
+	if budget < 0 {
+		return fmt.Errorf("budget %v must be non-negative", budget) // want `Unwrapped returns fmt\.Errorf without %w`
+	}
+	return nil
+}
+
+// Wrapped is the required pattern: %w reaches a sentinel.
+func Wrapped(budget float64) error {
+	if budget < 0 {
+		return fmt.Errorf("%w: got %v", ErrBudgetNegative, budget)
+	}
+	return nil
+}
+
+// Direct returns a sentinel itself — errors.Is works, no wrapping
+// needed.
+func Direct() error {
+	return ErrInvalidConfig
+}
+
+// Chained wraps an upstream error with %w: the chain is trusted.
+func Chained() error {
+	if err := Wrapped(-1); err != nil {
+		return fmt.Errorf("chained: %w", err)
+	}
+	return nil
+}
+
+// Variable returns an error built elsewhere; construction is policed at
+// the boundary, not full dataflow.
+func Variable() error {
+	err := Wrapped(-1)
+	return err
+}
+
+// internal is unexported: its errors do not cross the public boundary
+// directly, so the boundary check does not apply.
+func internal() error {
+	return errors.New("internal detail")
+}
+
+// Suppressed documents a deliberate taxonomy exception.
+func Suppressed() error {
+	return errors.New("deliberate") //lint:reapvet errtaxonomy -- fixture: demonstrating a documented exception
+}
+
+var _ = internal

@@ -1,0 +1,19 @@
+// Fixture loaded under a package path outside the taxonomy scope:
+// support packages (dsp, nn, solar, ...) may return plain errors — the
+// public layers wrap them before they cross the reap boundary.
+package outofscope
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fresh would be a violation inside the scope; here it is legal.
+func Fresh() error {
+	return errors.New("support package detail")
+}
+
+// Unwrapped likewise.
+func Unwrapped(n int) error {
+	return fmt.Errorf("bad n %d", n)
+}

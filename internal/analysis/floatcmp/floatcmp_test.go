@@ -1,0 +1,18 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "testdata/floats", "repro/sim/fixture")
+}
+
+// TestFloatcmpAllowsFpx loads the same kind of code under the fpx
+// import path: the allowlisted helper package reports nothing.
+func TestFloatcmpAllowsFpx(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "testdata/fpx", "repro/internal/fpx")
+}

@@ -1,0 +1,39 @@
+// Fixture for the floatcmp analyzer: raw float equality in a package
+// that is not the fpx allowlist.
+package floats
+
+func compares(a, b float64, f32 float32, n int, s string) bool {
+	if a == b { // want `raw float comparison \(==\)`
+		return true
+	}
+	if a != 0.0 { // want `raw float comparison \(!=\)`
+		return true
+	}
+	if f32 == 1.5 { // want `raw float comparison \(==\)`
+		return true
+	}
+	if float64(n) == b { // want `raw float comparison \(==\)`
+		return true
+	}
+	// Negative cases: integer and string comparisons are fine.
+	if n == 3 {
+		return false
+	}
+	if s == "x" {
+		return false
+	}
+	// Ordered float comparisons are fine — only equality is banned.
+	return a < b || a >= 0
+}
+
+// suppressed shows the escape hatch: exact comparison with a reason.
+func suppressed(a, b float64) bool {
+	return a == b //lint:reapvet floatcmp -- fixture: deliberately exact, mirrors a breakpoint hit
+}
+
+type meters float64
+
+// namedFloat shows the check sees through named float types.
+func namedFloat(m meters) bool {
+	return m == 2.0 // want `raw float comparison \(==\)`
+}

@@ -1,0 +1,10 @@
+// Fixture loaded under the repro/internal/fpx import path: the
+// allowlisted helper package may use raw float equality — that is its
+// job.
+package fpx
+
+// Eq mirrors the real helper; no diagnostics expected anywhere here.
+func Eq(a, b float64) bool { return a == b }
+
+// Zero mirrors the real helper.
+func Zero(x float64) bool { return x == 0 }

@@ -1,0 +1,248 @@
+// Package hotalloc bans allocating constructs from functions annotated
+// //reap:hotpath.
+//
+// PR 5's headline claim is that steady-state solves allocate nothing:
+// Plan.SolveInto, Controller.StepInto and the fleet tick run at 0
+// allocs/op. Benchmarks prove that after the fact; this analyzer
+// protects it at review time by flagging the constructs that allocate
+// (or typically allocate) inside an annotated function:
+//
+//   - make, new, append (growth), map and slice literals,
+//     address-taken composite literals
+//   - fmt.* calls (formatting always allocates)
+//   - boxing a numeric or string value into an interface parameter
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - closures that capture variables, and go statements
+//
+// The analysis is syntactic over typed ASTs, deliberately stricter than
+// the escape analyzer: a flagged construct on a genuinely cold branch
+// (error paths, one-time buffer growth) carries a //lint:reapvet
+// suppression naming its reason, and the testing.AllocsPerRun pins in
+// *_alloc_test.go files remain the runtime ground truth the analyzer
+// cross-validates.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer bans allocating constructs in //reap:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //reap:hotpath must not contain allocating " +
+		"constructs; cold branches carry //lint:reapvet suppressions with reasons",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.IsHotPath(fn) {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// addressed marks composite literals already reported through an
+	// enclosing &T{...}, so they are not reported twice.
+	addressed map[*ast.CompositeLit]bool
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	c := &checker{pass: pass, fn: fn, addressed: map[*ast.CompositeLit]bool{}}
+	ast.Inspect(fn.Body, c.visit)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				c.addressed[lit] = true
+				c.reportf(n.Pos(), "&%s{...} escapes to the heap", typeLabel(c.pass.TypesInfo, lit))
+			}
+		}
+	case *ast.CompositeLit:
+		c.compositeLit(n)
+	case *ast.CallExpr:
+		c.call(n)
+	case *ast.FuncLit:
+		c.funcLit(n)
+	case *ast.GoStmt:
+		c.reportf(n.Pos(), "go statement allocates a goroutine on the hot path")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(c.pass.TypesInfo.TypeOf(n.X)) {
+			c.reportf(n.OpPos, "string concatenation allocates")
+		}
+	}
+	return true
+}
+
+func (c *checker) compositeLit(lit *ast.CompositeLit) {
+	if c.addressed[lit] {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates its backing array")
+	}
+	// Plain struct and array value literals are zero-cost assignments
+	// (Allocation{} resets, not allocates) and stay legal.
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	// Builtins: make/new always allocate, append may grow.
+	if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[ident].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.reportf(call.Pos(), "make allocates: preallocate the buffer outside the hot path")
+			case "new":
+				c.reportf(call.Pos(), "new allocates")
+			case "append":
+				c.reportf(call.Pos(), "append may grow its backing array: preallocate capacity outside the hot path")
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where the conversion itself allocates.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.conversion(call, tv.Type)
+		return
+	}
+	// fmt.* always formats into fresh memory.
+	if pkg, name := analysis.CalleePkgFunc(info, call); pkg == "fmt" {
+		c.reportf(call.Pos(), "fmt.%s allocates (formatting boxes every operand)", name)
+		return
+	}
+	// Interface boxing: a numeric or string argument passed as an
+	// interface parameter forces a heap box.
+	sig, ok := typeAsSignature(info.TypeOf(call.Fun))
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && isBoxable(info.TypeOf(arg)) {
+			c.reportf(arg.Pos(), "argument boxes a %s into interface %s", info.TypeOf(arg), pt)
+		}
+	}
+}
+
+func (c *checker) conversion(call *ast.CallExpr, target types.Type) {
+	info := c.pass.TypesInfo
+	argType := info.TypeOf(call.Args[0])
+	if types.IsInterface(target) && isBoxable(argType) {
+		c.reportf(call.Pos(), "conversion boxes a %s into interface %s", argType, target)
+		return
+	}
+	// string <-> []byte / []rune conversions copy.
+	if isString(argType) != isString(target) {
+		_, fromSlice := argType.Underlying().(*types.Slice)
+		_, toSlice := target.Underlying().(*types.Slice)
+		if fromSlice || toSlice {
+			c.reportf(call.Pos(), "conversion between string and slice copies")
+		}
+	}
+}
+
+func (c *checker) funcLit(lit *ast.FuncLit) {
+	captured := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[ident]
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		// A capture is a use of an object declared inside the enclosing
+		// hot function (params and receiver included) but outside the
+		// literal itself.
+		if obj.Pos() >= c.fn.Pos() && obj.Pos() < c.fn.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			captured[obj] = true
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		c.reportf(lit.Pos(), "closure captures %d variable(s) and escapes to the heap", len(captured))
+	}
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.pass.Reportf(pos, "hot path %s: "+format, append([]any{c.fn.Name.Name}, args...)...)
+}
+
+// typeLabel names a composite literal's type for diagnostics, falling
+// back to the source expression when type info is unavailable.
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.TypeOf(lit); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+	return "composite"
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// isBoxable reports whether values of t heap-box when converted to an
+// interface: the basic kinds (numerics, strings, bools) the issue's
+// invariant singles out.
+func isBoxable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsNumeric|types.IsString|types.IsBoolean) != 0
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

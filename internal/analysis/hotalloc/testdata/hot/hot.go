@@ -1,0 +1,109 @@
+// Fixture for the hotalloc analyzer: allocating constructs inside
+// //reap:hotpath functions.
+package hot
+
+import "fmt"
+
+type alloc struct {
+	Active []float64
+	Off    float64
+}
+
+func sink(v any)        { _ = v }
+func observe(f func())  { f() }
+func consume(s string)  { _ = s }
+func use(x interface{}) { _ = x }
+
+//reap:hotpath
+func hotMake(n int) []float64 {
+	return make([]float64, n) // want `hot path hotMake: make allocates`
+}
+
+//reap:hotpath
+func hotAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `hot path hotAppend: append may grow its backing array`
+}
+
+//reap:hotpath
+func hotFmt(budget float64) error {
+	return fmt.Errorf("bad budget %v", budget) // want `hot path hotFmt: fmt\.Errorf allocates`
+}
+
+//reap:hotpath
+func hotLiterals() {
+	_ = map[string]int{"a": 1} // want `hot path hotLiterals: map literal allocates`
+	_ = []float64{1, 2, 3}     // want `hot path hotLiterals: slice literal allocates`
+	_ = &alloc{}               // want `hot path hotLiterals: &alloc\{\.\.\.\} escapes to the heap`
+}
+
+//reap:hotpath
+func hotBox(x float64) {
+	sink(x) // want `hot path hotBox: argument boxes a float64 into interface`
+}
+
+//reap:hotpath
+func hotConvert(x float64) {
+	use(interface{}(x)) // want `hot path hotConvert: conversion boxes a float64 into interface`
+}
+
+//reap:hotpath
+func hotClosure(total *float64, xs []float64) {
+	observe(func() { // want `hot path hotClosure: closure captures 2 variable\(s\)`
+		for _, x := range xs {
+			*total += x
+		}
+	})
+}
+
+//reap:hotpath
+func hotGo(done chan struct{}) {
+	go func() { close(done) }() // want `hot path hotGo: go statement allocates a goroutine` `hot path hotGo: closure captures 1 variable\(s\)`
+}
+
+//reap:hotpath
+func hotConcat(a, b string) {
+	consume(a + b) // want `hot path hotConcat: string concatenation allocates`
+}
+
+//reap:hotpath
+func hotBytes(s string) []byte {
+	return []byte(s) // want `hot path hotBytes: conversion between string and slice copies`
+}
+
+// hotClean is annotated and allocation-free: indexing, arithmetic,
+// plain struct resets, calls, and slicing existing capacity are all
+// legal.
+//
+//reap:hotpath
+func hotClean(dst *alloc, budget float64) {
+	*dst = alloc{}
+	if cap(dst.Active) >= 3 {
+		dst.Active = dst.Active[:3]
+	}
+	for i := range dst.Active {
+		dst.Active[i] = budget
+	}
+	dst.Off = budget * 0.5
+}
+
+// hotSuppressed shows the cold-branch escape hatch.
+//
+//reap:hotpath
+func hotSuppressed(dst *alloc, n int) {
+	if cap(dst.Active) < n {
+		dst.Active = make([]float64, n) //lint:reapvet hotalloc -- fixture: one-time buffer growth, amortized to zero
+	}
+}
+
+// coldMake is NOT annotated: allocations are fine outside hot paths.
+func coldMake(n int) []float64 {
+	return make([]float64, n)
+}
+
+// closureNoCapture: a capture-free closure is a static func value, not
+// an allocation.
+//
+//reap:hotpath
+func closureNoCapture() {
+	observe(func() {})
+}

@@ -1,0 +1,210 @@
+// Package load type-checks this module's packages for the reapvet
+// analyzers without depending on golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -export -deps -json`, which both describes
+// the package graph and materializes compiler export data for every
+// dependency in the build cache. Target packages are then parsed from
+// source and type-checked with go/types, resolving imports through the
+// gc export data — so the loader needs exactly what the build already
+// needed: the go toolchain and the module's own sources. No network, no
+// third-party loader.
+//
+// Test files are deliberately excluded: the reapvet invariants govern
+// shipping code, and tests are free to use context.Background, exact
+// float comparisons against golden values, and allocation-heavy
+// scaffolding.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// reads.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// list runs `go list -export -deps -json` for the patterns in dir.
+func list(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", patterns, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export data files for
+// importer.ForCompiler.
+type exportLookup map[string]string
+
+func (e exportLookup) lookup(path string) (io.ReadCloser, error) {
+	file, ok := e[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Packages loads and type-checks the packages matching the go list
+// patterns (e.g. "./..."), rooted at dir, returning them ready for
+// analysis. Dependencies resolve from compiler export data; only the
+// matched packages themselves are parsed from source.
+func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
+	all, err := list(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportLookup{}
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exports.lookup)
+	var out []*analysis.Package
+	for _, p := range all {
+		// DepOnly marks packages present only as dependencies of the
+		// matched patterns; those resolve from export data alone.
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Dir loads one directory of Go files as a package with the given
+// import path, resolving its imports through export data listed from
+// moduleRoot. This is the analysistest entry point: fixture packages
+// under testdata/ (invisible to the go tool) get type-checked as if
+// they lived at importPath, so analyzers keyed on package paths see the
+// path the fixture claims.
+func Dir(moduleRoot, fixtureDir, importPath string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, fmt.Errorf("load: reading fixture dir: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", fixtureDir)
+	}
+	// Parse first to learn the fixture's imports, then list exactly
+	// those packages for export data.
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: parsing fixture: %w", err)
+		}
+		syntax = append(syntax, f)
+		for _, spec := range f.Imports {
+			imports[importPathOf(spec)] = true
+		}
+	}
+	exports := exportLookup{}
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for path := range imports {
+			patterns = append(patterns, path)
+		}
+		all, err := list(moduleRoot, patterns...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range all {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exports.lookup)
+	return checkParsed(fset, imp, importPath, syntax)
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	path := spec.Path.Value
+	return path[1 : len(path)-1] // strip quotes
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*analysis.Package, error) {
+	var syntax []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: parsing %s: %w", importPath, err)
+		}
+		syntax = append(syntax, f)
+	}
+	return checkParsed(fset, imp, importPath, syntax)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, importPath string, syntax []*ast.File) (*analysis.Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", importPath, err)
+	}
+	return &analysis.Package{Fset: fset, Files: syntax, Pkg: pkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,52 @@
+package load
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this file's position, so
+// the loader tests work regardless of the test process's working
+// directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestPackagesLoadsAndTypeChecks(t *testing.T) {
+	pkgs, err := Packages(moduleRoot(t), "repro/internal/core", "repro")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]bool{}
+	for _, p := range pkgs {
+		byPath[p.Pkg.Path()] = true
+		if len(p.Files) == 0 {
+			t.Errorf("package %s has no syntax", p.Pkg.Path())
+		}
+		if len(p.TypesInfo.Defs) == 0 {
+			t.Errorf("package %s has no type info", p.Pkg.Path())
+		}
+	}
+	if !byPath["repro"] || !byPath["repro/internal/core"] {
+		t.Fatalf("loaded %v, want repro and repro/internal/core", byPath)
+	}
+}
+
+func TestPackagesPatternAll(t *testing.T) {
+	pkgs, err := Packages(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("Packages ./...: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("got %d packages for ./..., expected the whole module", len(pkgs))
+	}
+}

@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/errtaxonomy"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/load"
+)
+
+// TestSuiteSelfCheck runs every analyzer over the analyzer suite itself,
+// its loader, its runner binary and the fpx helpers: the linter holds
+// itself to the invariants it enforces. Fixture packages under testdata
+// are full of deliberate violations, but go list never surfaces testdata
+// directories, so only the real sources are checked.
+func TestSuiteSelfCheck(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	pkgs, err := load.Packages(root,
+		"repro/internal/analysis/...", "repro/cmd/reapvet", "repro/internal/fpx")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) < 6 {
+		t.Fatalf("loaded only %d packages, expected the whole suite", len(pkgs))
+	}
+	suite := []*analysis.Analyzer{
+		errtaxonomy.Analyzer,
+		ctxflow.Analyzer,
+		hotalloc.Analyzer,
+		floatcmp.Analyzer,
+	}
+	diags, err := analysis.Run(suite, pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("self-check finding: %s", d)
+	}
+}

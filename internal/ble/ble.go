@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/fpx"
 )
 
 // Link-layer constants for a CC2650-class 1M PHY connection.
@@ -150,7 +152,7 @@ func ExpectedEnergy(cfg Config, n int) (float64, error) {
 		q := cfg.LossRate
 		k := float64(cfg.MaxRetries + 1)
 		var attempts float64
-		if q == 0 {
+		if fpx.Zero(q) {
 			attempts = 1
 		} else {
 			attempts = (1 - math.Pow(q, k)) / (1 - q)

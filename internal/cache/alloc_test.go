@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSolveIntoHitZeroAllocs pins the //reap:hotpath promise of the hit
+// path: once a dst has capacity and the entry is cached, a lookup copies
+// without allocating.
+func TestSolveIntoHitZeroAllocs(t *testing.T) {
+	c, err := New(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	var dst core.Allocation
+	// First call is the miss that populates the entry and grows dst.
+	if err := c.SolveInto(ctx, 1, core.SolveContext, cfg, 1.0, &dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.SolveInto(ctx, 1, core.SolveContext, cfg, 1.0, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Cache.SolveInto hit path allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestSolveIntoMatchesSolve checks the buffer-reusing path returns the
+// same allocation as the cloning path, across hits and misses.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	c, err := New(64, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	var dst core.Allocation
+	for _, budget := range []float64{0, 0.05, 0.4, 1.1, 2.5, 1.1, 0.4} {
+		want, err := c.Solve(ctx, 7, core.SolveContext, cfg, budget)
+		if err != nil {
+			t.Fatalf("Solve(%v): %v", budget, err)
+		}
+		if err := c.SolveInto(ctx, 7, core.SolveContext, cfg, budget, &dst); err != nil {
+			t.Fatalf("SolveInto(%v): %v", budget, err)
+		}
+		if len(dst.Active) != len(want.Active) || dst.Off != want.Off || dst.Dead != want.Dead {
+			t.Fatalf("SolveInto(%v) = %+v, want %+v", budget, dst, want)
+		}
+		for i := range want.Active {
+			if dst.Active[i] != want.Active[i] {
+				t.Fatalf("SolveInto(%v).Active[%d] = %v, want %v", budget, i, dst.Active[i], want.Active[i])
+			}
+		}
+	}
+}
+
+// TestSolveIntoInvalidBudget checks invalid budgets reset dst and report
+// the backend's sentinel, matching Solve's bypass behavior.
+func TestSolveIntoInvalidBudget(t *testing.T) {
+	c, err := New(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	dst := core.Allocation{Active: []float64{1, 2, 3, 4, 5}, Off: 9}
+	err = c.SolveInto(context.Background(), 1, core.SolveContext, cfg, -1, &dst)
+	if err == nil {
+		t.Fatal("SolveInto(-1) succeeded, want error")
+	}
+	if dst.Active != nil || dst.Off != 0 {
+		t.Fatalf("dst not reset on error: %+v", dst)
+	}
+}

@@ -203,6 +203,46 @@ func (c *Cache) SolveFunc(tag uint64, next core.SolveFunc) core.SolveFunc {
 	}
 }
 
+// SolveInto is Solve writing the allocation into dst: a cache hit copies
+// the stored entry into dst's existing Active capacity instead of
+// cloning, so a warmed steady-state lookup allocates nothing. Misses,
+// coalesced waits and invalid budgets take the Solve path and adopt its
+// result. dst's previous contents are fully overwritten; on error dst is
+// reset to the zero Allocation.
+//
+//reap:hotpath
+func (c *Cache) SolveInto(ctx context.Context, tag uint64, next core.SolveFunc, cfg core.Config, budget float64, dst *core.Allocation) error {
+	if !(budget >= 0) { // negative or NaN: the cold bypass below reports it
+		return c.solveIntoCold(ctx, tag, next, cfg, budget, dst)
+	}
+	kb, _ := c.quantize(budget)
+	k := key{tag: tag, cfg: cfg.Fingerprint(), budget: kb}
+	sh := c.shardFor(k)
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		copyAllocation(dst, el.Value.(*entry).alloc)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return nil
+	}
+	sh.mu.Unlock()
+	return c.solveIntoCold(ctx, tag, next, cfg, budget, dst)
+}
+
+// solveIntoCold is SolveInto's miss path: run the full Solve protocol
+// (singleflight, insert, counters) and adopt its freshly cloned result.
+func (c *Cache) solveIntoCold(ctx context.Context, tag uint64, next core.SolveFunc, cfg core.Config, budget float64, dst *core.Allocation) error {
+	a, err := c.Solve(ctx, tag, next, cfg, budget)
+	if err != nil {
+		*dst = core.Allocation{}
+		return err
+	}
+	*dst = a
+	return nil
+}
+
 // insert adds a fresh entry and evicts past capacity. Caller holds sh.mu.
 func (sh *shard) insert(k key, alloc core.Allocation, evictions *atomic.Uint64) {
 	if el, ok := sh.entries[k]; ok {
@@ -229,6 +269,21 @@ func (sh *shard) insert(k key, alloc core.Allocation, evictions *atomic.Uint64) 
 func cloneAllocation(a core.Allocation) core.Allocation {
 	a.Active = append([]float64(nil), a.Active...)
 	return a
+}
+
+// copyAllocation writes src into dst, reusing dst.Active's capacity so a
+// warmed caller pays no allocation. Callers hold the shard lock, so src
+// (a stored entry) cannot change mid-copy.
+//
+//reap:hotpath
+func copyAllocation(dst *core.Allocation, src core.Allocation) {
+	n := len(src.Active)
+	if cap(dst.Active) < n {
+		dst.Active = make([]float64, n) //lint:reapvet hotalloc -- one-time buffer growth, amortized to zero
+	}
+	dst.Active = dst.Active[:n]
+	copy(dst.Active, src.Active)
+	dst.Off, dst.Dead = src.Off, src.Dead
 }
 
 // Stats is a point-in-time snapshot of the cache's counters.

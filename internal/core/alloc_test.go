@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// The //reap:hotpath annotations promise these paths allocate nothing in
+// steady state; the hotalloc analyzer enforces that statically and these
+// pins are the runtime ground truth it cross-validates.
+
+func TestPlanSolveIntoZeroAllocs(t *testing.T) {
+	p, err := NewPlan(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst Allocation
+	if err := p.SolveInto(1.0, &dst); err != nil { // warm dst.Active
+		t.Fatal(err)
+	}
+	budgets := []float64{0.05, 0.4, 1.1, 2.5, 10}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, b := range budgets {
+			if err := p.SolveInto(b, &dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Plan.SolveInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestPlanValueZeroAllocs(t *testing.T) {
+	p, err := NewPlan(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = p.Value(0.7)
+		_ = p.Value(100)
+	})
+	if allocs != 0 {
+		t.Fatalf("Plan.Value allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestStepIntoOnPlanZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	ct, err := NewController(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.SetPlan(p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var dst Allocation
+	if err := ct.StepInto(ctx, 1.0, &dst); err != nil { // warm dst.Active
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ct.StepInto(ctx, 1.0, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Controller.StepInto on the plan path allocated %v times per run, want 0", allocs)
+	}
+}

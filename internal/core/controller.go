@@ -12,6 +12,12 @@ import (
 // registered Solver backends through this type.
 type SolveFunc func(ctx context.Context, c Config, budget float64) (Allocation, error)
 
+// SolveIntoFunc is the buffer-reusing backend shape: it writes the
+// allocation into dst, reusing dst.Active's capacity, so a steady-state
+// solve can answer without allocating (the solve-cache hit path uses
+// this). dst's previous contents are fully overwritten.
+type SolveIntoFunc func(ctx context.Context, c Config, budget float64, dst *Allocation) error
+
 // Controller is the runtime side of REAP: once per activity period it
 // receives the energy made available by the harvesting subsystem, folds in
 // the accounting surplus or deficit of the previous period (planned versus
@@ -36,6 +42,9 @@ type Controller struct {
 	lastBudget  float64
 	steps       int
 
+	// solveInto is the buffer-reusing optimizer backend; when set it wins
+	// over solve and plan (StepInto solves straight into dst).
+	solveInto SolveIntoFunc
 	// solve is the optimizer backend; when nil, plan answers solves if
 	// set, and SolveContext (simplex) otherwise.
 	solve SolveFunc
@@ -96,6 +105,13 @@ func (ct *Controller) SetAlpha(alpha float64) error {
 // the controller before starting its period loop.
 func (ct *Controller) SetSolveFunc(fn SolveFunc) { ct.solve = fn }
 
+// SetSolveIntoFunc selects a buffer-reusing optimizer backend, which wins
+// over SetSolveFunc and SetPlan: StepInto hands fn its own dst, so a
+// backend that reuses dst.Active (the solve-cache hit path) keeps the
+// steady-state step allocation-free. A nil fn restores the SolveFunc /
+// plan / simplex fallback chain. Not safe for concurrent use with Step.
+func (ct *Controller) SetSolveIntoFunc(fn SolveIntoFunc) { ct.solveInto = fn }
+
 // SetPlan installs a compiled parametric plan as the controller's
 // allocation-free solve path, used whenever no SolveFunc is set. The
 // plan must be compiled from the controller's exact configuration; a
@@ -114,7 +130,7 @@ func (ct *Controller) SetPlan(p *Plan) error {
 // handed to the optimizer is the harvested energy plus whatever the battery
 // can contribute, corrected by the previous period's accounting balance.
 func (ct *Controller) Step(harvested float64) (Allocation, error) {
-	return ct.StepContext(context.Background(), harvested)
+	return ct.StepContext(context.Background(), harvested) //lint:reapvet ctxflow -- context-free compatibility shim; the root context is deliberate
 }
 
 // StepContext is Step with cancellation, forwarded to the solver backend.
@@ -132,16 +148,23 @@ func (ct *Controller) StepContext(ctx context.Context, harvested float64) (Alloc
 // plan solves straight into dst's existing Active slice. dst's previous
 // contents are fully overwritten; on error the controller commits no
 // state and dst is reset to the zero Allocation.
+//
+//reap:hotpath
 func (ct *Controller) StepInto(ctx context.Context, harvested float64, dst *Allocation) error {
 	if harvested < 0 || math.IsNaN(harvested) {
 		*dst = Allocation{}
-		return fmt.Errorf("%w: harvested energy %v", ErrBudgetNegative, harvested)
+		return fmt.Errorf("%w: harvested energy %v", ErrBudgetNegative, harvested) //lint:reapvet hotalloc -- cold error path
 	}
 	budget := harvested + ct.battery + ct.carry
 	if budget < 0 {
 		budget = 0
 	}
 	switch {
+	case ct.solveInto != nil:
+		if err := ct.solveInto(ctx, ct.cfg, budget, dst); err != nil {
+			*dst = Allocation{}
+			return err
+		}
 	case ct.solve != nil:
 		alloc, err := ct.solve(ctx, ct.cfg, budget)
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/fpx"
 )
 
 // Knot is one vertex of the optimal-objective curve J*(Eb).
@@ -51,10 +53,10 @@ func ObjectiveCurve(c Config) ([]Knot, error) {
 // Budgets beyond the last knot saturate at the final value.
 func EvalCurve(knots []Knot, budget float64) (float64, error) {
 	if len(knots) == 0 {
-		return 0, fmt.Errorf("core: empty curve")
+		return 0, fmt.Errorf("%w: empty curve", ErrInvalidConfig)
 	}
 	if math.IsNaN(budget) || budget < 0 {
-		return 0, fmt.Errorf("core: budget %v must be non-negative", budget)
+		return 0, fmt.Errorf("%w: budget %v", ErrBudgetNegative, budget)
 	}
 	if budget <= knots[0].Budget {
 		return knots[0].J, nil
@@ -75,7 +77,7 @@ func EvalCurve(knots []Knot, budget float64) (float64, error) {
 // feasible domain Eb ≥ floor; the leading dead-region segment (flat zero
 // from 0 to the idle floor) is excluded from the check.
 func CurveIsConcave(knots []Knot) bool {
-	for len(knots) > 1 && knots[0].J == 0 && knots[1].J == 0 {
+	for len(knots) > 1 && fpx.Zero(knots[0].J) && fpx.Zero(knots[1].J) {
 		knots = knots[1:]
 	}
 	prev := math.Inf(1)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/fpx"
 )
 
 // DesignPoint is one operating configuration of the application with a
@@ -27,10 +29,10 @@ type DesignPoint struct {
 // meaningful.
 func (d DesignPoint) Validate() error {
 	if math.IsNaN(d.Accuracy) || d.Accuracy < 0 || d.Accuracy > 1 {
-		return fmt.Errorf("core: design point %q accuracy %v outside [0,1]", d.Name, d.Accuracy)
+		return fmt.Errorf("%w: design point %q accuracy %v outside [0,1]", ErrInvalidConfig, d.Name, d.Accuracy)
 	}
 	if math.IsNaN(d.Power) || d.Power <= 0 {
-		return fmt.Errorf("core: design point %q power %v must be positive", d.Name, d.Power)
+		return fmt.Errorf("%w: design point %q power %v must be positive", ErrInvalidConfig, d.Name, d.Power)
 	}
 	return nil
 }
@@ -68,7 +70,7 @@ func ParetoFront(dps []DesignPoint) []DesignPoint {
 				break
 			}
 			// Exact duplicate: keep only the earliest.
-			if j < i && o.Accuracy == d.Accuracy && o.Power == d.Power {
+			if j < i && fpx.Eq(o.Accuracy, d.Accuracy) && fpx.Eq(o.Power, d.Power) {
 				dominated = true
 				break
 			}
@@ -78,7 +80,7 @@ func ParetoFront(dps []DesignPoint) []DesignPoint {
 		}
 	}
 	sort.SliceStable(front, func(i, j int) bool {
-		if front[i].Power != front[j].Power {
+		if !fpx.Eq(front[i].Power, front[j].Power) {
 			return front[i].Power > front[j].Power
 		}
 		return front[i].Accuracy > front[j].Accuracy

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/fpx"
 )
 
 // Plan is a Config compiled into the parametric form of the allocation
@@ -74,7 +76,7 @@ func NewPlan(c Config) (*Plan, error) {
 	// index — deterministic compilation). The off vertex sorts strictly
 	// first because Validate guarantees every Pᵢ > POff.
 	sort.SliceStable(verts, func(i, j int) bool {
-		if verts[i].budget != verts[j].budget {
+		if !fpx.Eq(verts[i].budget, verts[j].budget) {
 			return verts[i].budget < verts[j].budget
 		}
 		return verts[i].value > verts[j].value
@@ -133,6 +135,8 @@ func (p *Plan) Breakpoints() []float64 {
 // an allocation: zero below the idle floor, the envelope's linear
 // interpolation between breakpoints, and the saturated maximum beyond
 // the last one. Value allocates nothing. NaN budgets return NaN.
+//
+//reap:hotpath
 func (p *Plan) Value(budget float64) float64 {
 	if math.IsNaN(budget) {
 		return math.NaN()
@@ -145,7 +149,7 @@ func (p *Plan) Value(budget float64) float64 {
 		return p.vertValue[k-1]
 	}
 	hi := sort.SearchFloat64s(p.vertBudget, budget)
-	if p.vertBudget[hi] == budget {
+	if fpx.Eq(p.vertBudget[hi], budget) {
 		return p.vertValue[hi]
 	}
 	lo := hi - 1
@@ -168,13 +172,15 @@ func (p *Plan) Solve(budget float64) (Allocation, error) {
 // reusing dst.Active when its capacity suffices — after the first call
 // with a given dst, solving allocates nothing. dst's previous contents
 // are fully overwritten.
+//
+//reap:hotpath
 func (p *Plan) SolveInto(budget float64, dst *Allocation) error {
 	if math.IsNaN(budget) || budget < 0 {
-		return fmt.Errorf("%w: got %v", ErrBudgetNegative, budget)
+		return fmt.Errorf("%w: got %v", ErrBudgetNegative, budget) //lint:reapvet hotalloc -- cold error path
 	}
 	n := len(p.cfg.DPs)
 	if cap(dst.Active) < n {
-		dst.Active = make([]float64, n)
+		dst.Active = make([]float64, n) //lint:reapvet hotalloc -- one-time buffer growth, amortized to zero
 	} else {
 		dst.Active = dst.Active[:n]
 		for i := range dst.Active {
@@ -208,7 +214,7 @@ func (p *Plan) SolveInto(budget float64, dst *Allocation) error {
 		return nil
 	}
 	hi := sort.SearchFloat64s(p.vertBudget, budget)
-	if p.vertBudget[hi] == budget {
+	if fpx.Eq(p.vertBudget[hi], budget) {
 		// Exactly at a breakpoint: the vertex state alone is optimal.
 		p.assign(dst, p.vertState[hi], p.cfg.Period)
 		clampAllocation(dst, p.cfg)

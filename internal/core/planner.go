@@ -46,7 +46,7 @@ func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Sched
 		return nil, err
 	}
 	if battery0 < 0 || capacity < 0 || battery0 > capacity+1e-9 {
-		return nil, fmt.Errorf("core: battery state %v/%v invalid", battery0, capacity)
+		return nil, fmt.Errorf("%w: battery state %v/%v invalid", ErrInvalidConfig, battery0, capacity)
 	}
 	k := len(forecast)
 	if k == 0 {
@@ -54,7 +54,7 @@ func Lookahead(c Config, battery0, capacity float64, forecast []float64) (*Sched
 	}
 	for _, h := range forecast {
 		if h < 0 || math.IsNaN(h) {
-			return nil, fmt.Errorf("core: forecast value %v must be non-negative", h)
+			return nil, fmt.Errorf("%w: forecast value %v", ErrBudgetNegative, h)
 		}
 	}
 

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fpx"
 )
 
 // Defaults matching the paper's experimental setup.
@@ -60,7 +62,7 @@ func (c Config) Validate() error {
 	}
 	for _, d := range c.DPs {
 		if err := d.Validate(); err != nil {
-			return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+			return err // already wraps ErrInvalidConfig
 		}
 		if d.Power <= c.POff {
 			return fmt.Errorf("%w: design point %q power %v must exceed off power %v",
@@ -93,7 +95,7 @@ func (c Config) MaxUsefulBudget() float64 {
 // counts equally (including, per the convention of the paper, one with
 // zero accuracy).
 func (c Config) weight(i int) float64 {
-	if c.Alpha == 0 {
+	if fpx.Zero(c.Alpha) {
 		return 1
 	}
 	return math.Pow(c.DPs[i].Accuracy, c.Alpha)
@@ -174,7 +176,7 @@ func (a Allocation) Utilization(c Config, i int) float64 {
 // String renders the allocation as percentages of the period.
 func (a Allocation) String() string {
 	total := a.Total()
-	if total == 0 {
+	if fpx.Zero(total) {
 		return "allocation{}"
 	}
 	s := "allocation{"

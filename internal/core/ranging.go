@@ -21,7 +21,7 @@ func BudgetRange(c Config, budget float64) (lo, hi float64, err error) {
 		return 0, 0, err
 	}
 	if math.IsNaN(budget) || budget < 0 {
-		return 0, 0, fmt.Errorf("core: budget %v must be non-negative", budget)
+		return 0, 0, fmt.Errorf("%w: budget %v", ErrBudgetNegative, budget)
 	}
 	floor := c.MinBudget()
 	if budget < floor {
@@ -53,7 +53,7 @@ func BudgetRange(c Config, budget float64) (lo, hi float64, err error) {
 	}
 	rlo, rhi, ok := lp.RangeRHS(p, 1)
 	if !ok {
-		return 0, 0, fmt.Errorf("core: ranging failed at budget %v", budget)
+		return 0, 0, fmt.Errorf("%w: ranging failed at budget %v", ErrSolverFailure, budget)
 	}
 	// Clip to the LP regime.
 	if rlo < floor {
@@ -78,7 +78,7 @@ func Rescale(c Config, a Allocation, newBudget float64) (Allocation, error) {
 		return Allocation{}, err
 	}
 	if newBudget < c.MinBudget() {
-		return Allocation{}, fmt.Errorf("core: budget %v below the idle floor; re-solve", newBudget)
+		return Allocation{}, fmt.Errorf("%w: budget %v below the idle floor; re-solve", ErrSolverFailure, newBudget)
 	}
 	// Identify the support.
 	var support []int
@@ -102,7 +102,7 @@ func Rescale(c Config, a Allocation, newBudget float64) (Allocation, error) {
 		denom := c.DPs[i].Power - c.POff
 		t := (newBudget - c.MinBudget()) / denom
 		if t < -1e-9 {
-			return Allocation{}, fmt.Errorf("core: rescale underflow; re-solve")
+			return Allocation{}, fmt.Errorf("%w: rescale underflow; re-solve", ErrSolverFailure)
 		}
 		if t > c.Period {
 			t = c.Period // budget slack beyond saturation
@@ -116,17 +116,17 @@ func Rescale(c Config, a Allocation, newBudget float64) (Allocation, error) {
 		i, j := support[0], support[1]
 		pi, pj := c.DPs[i].Power, c.DPs[j].Power
 		if math.Abs(pi-pj) < 1e-15 {
-			return Allocation{}, fmt.Errorf("core: degenerate support powers; re-solve")
+			return Allocation{}, fmt.Errorf("%w: degenerate support powers; re-solve", ErrSolverFailure)
 		}
 		ti := (newBudget - pj*c.Period) / (pi - pj)
 		tj := c.Period - ti
 		if ti < -1e-9 || tj < -1e-9 {
-			return Allocation{}, fmt.Errorf("core: rescale left the support; re-solve")
+			return Allocation{}, fmt.Errorf("%w: rescale left the support; re-solve", ErrSolverFailure)
 		}
 		out.Active[i] = math.Max(0, ti)
 		out.Active[j] = math.Max(0, tj)
 		return out, nil
 	default:
-		return Allocation{}, fmt.Errorf("core: %d-point support cannot come from this LP; re-solve", len(support))
+		return Allocation{}, fmt.Errorf("%w: %d-point support cannot come from this LP; re-solve", ErrSolverFailure, len(support))
 	}
 }

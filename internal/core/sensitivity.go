@@ -22,7 +22,7 @@ func ShadowPrice(c Config, budget float64) (float64, error) {
 		return 0, err
 	}
 	if math.IsNaN(budget) || budget < 0 {
-		return 0, fmt.Errorf("core: budget %v must be non-negative", budget)
+		return 0, fmt.Errorf("%w: budget %v", ErrBudgetNegative, budget)
 	}
 	if budget < c.MinBudget() {
 		return 0, nil
@@ -55,7 +55,7 @@ func ShadowPrice(c Config, budget float64) (float64, error) {
 		return 0, err
 	}
 	if sol.Status != lp.Optimal {
-		return 0, fmt.Errorf("core: shadow price solve terminated with %v", sol.Status)
+		return 0, fmt.Errorf("%w: shadow price solve terminated with %v", ErrSolverFailure, sol.Status)
 	}
 	price := duals[1]
 	if math.IsNaN(price) || price < 0 {

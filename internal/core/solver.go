@@ -29,7 +29,7 @@ func checkSolveArgs(ctx context.Context, c Config, budget float64) error {
 // below the off-state floor are handled outside the LP: the device idles
 // for as long as the budget allows and is dead for the remainder.
 func Solve(c Config, budget float64) (Allocation, error) {
-	return SolveContext(context.Background(), c, budget)
+	return SolveContext(context.Background(), c, budget) //lint:reapvet ctxflow -- context-free compatibility shim; the root context is deliberate
 }
 
 // SolveContext is Solve with cancellation: the context is checked before
@@ -85,7 +85,7 @@ func SolveContext(ctx context.Context, c Config, budget float64) (Allocation, er
 // binding. This independent solver cross-checks the simplex path and is
 // also faster for small N (O(N²) with tiny constants).
 func SolveEnumerate(c Config, budget float64) (Allocation, error) {
-	return SolveEnumerateContext(context.Background(), c, budget)
+	return SolveEnumerateContext(context.Background(), c, budget) //lint:reapvet ctxflow -- context-free compatibility shim; the root context is deliberate
 }
 
 // SolveEnumerateContext is SolveEnumerate with cancellation, checked once

@@ -3,6 +3,8 @@ package dsp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fpx"
 )
 
 // Biquad is a second-order IIR filter section (direct form I). Sensor
@@ -66,7 +68,7 @@ func (f *Biquad) Response(freqHz, sampleRateHz float64) float64 {
 	denIm := -f.A1*sin1 - f.A2*sin2
 	num := math.Hypot(numRe, numIm)
 	den := math.Hypot(denRe, denIm)
-	if den == 0 {
+	if fpx.Zero(den) {
 		return math.Inf(1)
 	}
 	return num / den

@@ -8,6 +8,8 @@ package dsp
 import (
 	"math"
 	"sort"
+
+	"repro/internal/fpx"
 )
 
 // Mean returns the arithmetic mean of x, or 0 for empty input.
@@ -145,10 +147,10 @@ func ZeroCrossings(x []float64) int {
 	count := 0
 	prev := 0.0
 	for _, v := range x {
-		if v == 0 {
+		if fpx.Zero(v) {
 			continue
 		}
-		if prev != 0 && math.Signbit(v) != math.Signbit(prev) {
+		if !fpx.Zero(prev) && math.Signbit(v) != math.Signbit(prev) {
 			count++
 		}
 		prev = v

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fpx"
 )
 
 // AlphaGridCell is J*(budget, α) with the winning static design point.
@@ -58,7 +59,7 @@ func AlphaGrid(cfg core.Config) (*AlphaGridResult, error) {
 // Cell returns the grid cell for (alpha, budget).
 func (r *AlphaGridResult) Cell(alpha, budget float64) (AlphaGridCell, bool) {
 	for _, c := range r.Cells {
-		if c.Alpha == alpha && c.BudgetJ == budget {
+		if fpx.Eq(c.Alpha, alpha) && fpx.Eq(c.BudgetJ, budget) {
 			return c, true
 		}
 	}

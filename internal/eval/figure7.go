@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fpx"
 	"repro/internal/solar"
 )
 
@@ -100,7 +101,7 @@ func Figure7On(cfg core.Config, tr *solar.Trace, alphas []float64) (*Figure7Resu
 // Ratio returns the summary for a baseline and α.
 func (r *Figure7Result) Ratio(baseline string, alpha float64) (Figure7Ratio, bool) {
 	for _, x := range r.Ratios {
-		if x.Baseline == baseline && x.Alpha == alpha {
+		if x.Baseline == baseline && fpx.Eq(x.Alpha, alpha) {
 			return x, true
 		}
 	}

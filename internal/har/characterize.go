@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fpx"
 	"repro/internal/synth"
 )
 
@@ -88,7 +89,7 @@ func ParetoFront(points []Characterized) []Characterized {
 				dominated = true
 				break
 			}
-			if j < i && q.Accuracy == p.Accuracy && q.Power() == p.Power() {
+			if j < i && fpx.Eq(q.Accuracy, p.Accuracy) && fpx.Eq(q.Power(), p.Power()) {
 				dominated = true
 				break
 			}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/dsp"
+	"repro/internal/fpx"
 	"repro/internal/synth"
 )
 
@@ -258,7 +259,7 @@ func (c FeatureConfig) activeAxes(w synth.Window) [][]float64 {
 // accelStats is the statistical feature bank for one axis.
 func accelStats(x []float64) []float64 {
 	n := float64(len(x))
-	if n == 0 {
+	if fpx.Zero(n) {
 		n = 1
 	}
 	return []float64{

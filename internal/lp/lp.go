@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/fpx"
 )
 
 // Op is the relational operator of a constraint row.
@@ -110,6 +112,10 @@ type Solution struct {
 var (
 	ErrDimension = errors.New("lp: constraint width does not match objective length")
 	ErrEmpty     = errors.New("lp: problem has no variables")
+	// ErrMalformed wraps every remaining structural defect Validate can
+	// find — invalid operators, non-finite coefficients — and out-of-domain
+	// Status values, so every lp error reaches a sentinel via errors.Is.
+	ErrMalformed = errors.New("lp: malformed input")
 )
 
 // Terminal status errors. Solve itself reports these through
@@ -135,7 +141,7 @@ func (s Status) Err() error {
 	case IterationLimit:
 		return ErrIterationLimit
 	default:
-		return fmt.Errorf("lp: unknown status %d", int(s))
+		return fmt.Errorf("%w: unknown status %d", ErrMalformed, int(s))
 	}
 }
 
@@ -160,20 +166,20 @@ func (p *Problem) Validate() error {
 				ErrDimension, i, len(c.Coeffs), n)
 		}
 		if c.Op != LE && c.Op != GE && c.Op != EQ {
-			return fmt.Errorf("lp: row %d has invalid operator %d", i, int(c.Op))
+			return fmt.Errorf("%w: row %d has invalid operator %d", ErrMalformed, i, int(c.Op))
 		}
 		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
-			return fmt.Errorf("lp: row %d has non-finite RHS %v", i, c.RHS)
+			return fmt.Errorf("%w: row %d has non-finite RHS %v", ErrMalformed, i, c.RHS)
 		}
 		for j, v := range c.Coeffs {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("lp: row %d column %d has non-finite coefficient %v", i, j, v)
+				return fmt.Errorf("%w: row %d column %d has non-finite coefficient %v", ErrMalformed, i, j, v)
 			}
 		}
 	}
 	for j, v := range p.Objective {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("lp: objective column %d has non-finite coefficient %v", j, v)
+			return fmt.Errorf("%w: objective column %d has non-finite coefficient %v", ErrMalformed, j, v)
 		}
 	}
 	return nil
@@ -196,7 +202,7 @@ func (p *Problem) String() string {
 func writeLinear(b *strings.Builder, coeffs []float64) {
 	first := true
 	for j, v := range coeffs {
-		if v == 0 {
+		if fpx.Zero(v) {
 			continue
 		}
 		if !first {

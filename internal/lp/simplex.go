@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/fpx"
+)
 
 // tableau is the dense simplex tableau used by both phases.
 //
@@ -82,7 +86,7 @@ func (t *tableau) setObjective(c []float64) {
 	copy(obj, c)
 	for i := 0; i < t.m; i++ {
 		b := t.basis[i]
-		if b >= 0 && b < len(obj)-1 && obj[b] != 0 {
+		if b >= 0 && b < len(obj)-1 && !fpx.Zero(obj[b]) {
 			addRow(obj, t.rows[i], -obj[b])
 		}
 	}
@@ -181,7 +185,7 @@ func (t *tableau) pivot(row, col int) {
 			continue
 		}
 		f := t.rows[i][col]
-		if f == 0 {
+		if fpx.Zero(f) {
 			continue
 		}
 		addRow(t.rows[i], pr, -f)

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fpx"
 )
 
 // QuantizedNetwork is an int8 post-training quantization of a Network:
@@ -45,10 +47,10 @@ func Quantize(n *Network) (*QuantizedNetwork, error) {
 		}
 		ql.Scale = maxAbs(l.W) / 127
 		ql.BScale = maxAbs(l.B) / 127
-		if ql.Scale == 0 {
+		if fpx.Zero(ql.Scale) {
 			ql.Scale = 1
 		}
-		if ql.BScale == 0 {
+		if fpx.Zero(ql.BScale) {
 			ql.BScale = 1
 		}
 		for i, w := range l.W {
@@ -109,7 +111,7 @@ func (q *QuantizedNetwork) Forward(x []float64) ([]float64, error) {
 	for _, l := range q.Layers {
 		// Dynamic input quantization.
 		inScale := maxAbs(cur) / 127
-		if inScale == 0 {
+		if fpx.Zero(inScale) {
 			inScale = 1
 		}
 		qin := make([]int8, len(cur))

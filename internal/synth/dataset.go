@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/fpx"
 )
 
 // CorpusConfig controls synthetic corpus generation. The defaults
@@ -98,7 +100,7 @@ func apportion(count int, share map[Activity]float64) map[Activity]int {
 		fracs = append(fracs, frac{act, exact - float64(n)})
 	}
 	sort.Slice(fracs, func(i, j int) bool {
-		if fracs[i].rem != fracs[j].rem {
+		if !fpx.Eq(fracs[i].rem, fracs[j].rem) {
 			return fracs[i].rem > fracs[j].rem
 		}
 		return fracs[i].act < fracs[j].act

@@ -299,22 +299,20 @@ func (s *settings) wireSolver(ctl *Controller) error {
 // — NewFleet resolves once per fleet (or per overridden device) so that
 // anonymous backends keep one cache tag across all devices.
 func (s *settings) wireResolved(ctl *Controller, solver Solver, tag uint64) error {
-	if pb, ok := solver.(*planBackend); ok && s.solveCache == nil {
+	if s.solveCache != nil {
+		// Cached solving takes the buffer-reusing path: hits copy into
+		// the controller's own allocation instead of cloning, so cached
+		// steady-state steps allocate nothing.
+		ctl.SetSolveIntoFunc(s.solveCache.solveIntoFunc(tag, solver.Solve))
+		return nil
+	}
+	if pb, ok := solver.(*planBackend); ok {
 		p, err := pb.planFor(ctl.Config())
 		if err != nil {
 			return err
 		}
 		return ctl.SetPlan(p)
 	}
-	ctl.SetSolveFunc(s.wrapSolveFunc(tag, solver.Solve))
+	ctl.SetSolveFunc(solver.Solve)
 	return nil
-}
-
-// wrapSolveFunc routes fn through the configured solve cache, if any,
-// namespaced by the backend's cache tag.
-func (s *settings) wrapSolveFunc(tag uint64, fn core.SolveFunc) core.SolveFunc {
-	if s.solveCache == nil {
-		return fn
-	}
-	return s.solveCache.solveFunc(tag, fn)
 }

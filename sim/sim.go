@@ -39,6 +39,7 @@ import (
 	"repro"
 	"repro/internal/energy"
 	"repro/internal/forecast"
+	"repro/internal/fpx"
 	"repro/internal/solar"
 	"repro/internal/synth"
 )
@@ -119,10 +120,10 @@ type Scenario struct {
 
 // withDefaults fills the zero-value knobs with the documented defaults.
 func (sc Scenario) withDefaults() Scenario {
-	if sc.HarvestScale == 0 {
+	if fpx.Zero(sc.HarvestScale) {
 		sc.HarvestScale = 1
 	}
-	if sc.Alpha == 0 {
+	if fpx.Zero(sc.Alpha) {
 		sc.Alpha = 1
 	}
 	if sc.Solver == "" {
@@ -131,10 +132,10 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.CacheSize == 0 {
 		sc.CacheSize = reap.DefaultCacheSize
 	}
-	if sc.CacheResolutionJ == 0 {
+	if fpx.Zero(sc.CacheResolutionJ) {
 		sc.CacheResolutionJ = reap.DefaultCacheResolution
 	}
-	if sc.ForecastLambda == 0 {
+	if fpx.Zero(sc.ForecastLambda) {
 		sc.ForecastLambda = 0.5
 	}
 	if sc.TelemetryBytes == 0 {

@@ -1,6 +1,7 @@
 package reap
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync/atomic"
@@ -95,7 +96,11 @@ func (sc *SolveCache) wrapTagged(tag uint64, s Solver) Solver {
 	return SolverFunc(sc.c.SolveFunc(tag, s.Solve))
 }
 
-// solveFunc wraps a core.SolveFunc for controller wiring.
-func (sc *SolveCache) solveFunc(tag uint64, next core.SolveFunc) core.SolveFunc {
-	return sc.c.SolveFunc(tag, next)
+// solveIntoFunc wraps a backend as the buffer-reusing core.SolveIntoFunc
+// for controller wiring: cache hits copy into the caller's allocation
+// instead of cloning, so a cached steady-state step allocates nothing.
+func (sc *SolveCache) solveIntoFunc(tag uint64, next core.SolveFunc) core.SolveIntoFunc {
+	return func(ctx context.Context, cfg core.Config, budget float64, dst *core.Allocation) error {
+		return sc.c.SolveInto(ctx, tag, next, cfg, budget, dst)
+	}
 }

@@ -128,15 +128,15 @@ func mustRegisterSolver(name string, s Solver) {
 // never silently replaced.
 func RegisterSolver(name string, s Solver) error {
 	if name == "" {
-		return fmt.Errorf("reap: solver name must be non-empty")
+		return fmt.Errorf("%w: solver name must be non-empty", ErrInvalidConfig)
 	}
 	if s == nil {
-		return fmt.Errorf("reap: solver %q is nil", name)
+		return fmt.Errorf("%w: solver %q is nil", ErrInvalidConfig, name)
 	}
 	solverRegistry.Lock()
 	defer solverRegistry.Unlock()
 	if _, dup := solverRegistry.m[name]; dup {
-		return fmt.Errorf("reap: solver %q already registered", name)
+		return fmt.Errorf("%w: solver %q already registered", ErrInvalidConfig, name)
 	}
 	solverRegistry.m[name] = s
 	return nil
