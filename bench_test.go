@@ -334,10 +334,15 @@ func correlatedBudgets(n int) []float64 {
 //     headline, ≥3x on one core);
 //   - sequential-uncached-plan: the same without the worker pool,
 //     isolating pool overhead at plan-solve speeds;
-//   - cached: NewFleet's default — the shared 1 mJ solve cache over the
-//     plan backend (cached/10000 versus uncached-simplex/10000 was the
-//     cache PR's headline; the plan backend now makes even its misses
-//     cheap).
+//   - default: NewFleet with no options — since the plan-first re-tier
+//     this is the plan-direct path, and the trajectory's acceptance
+//     line is default/10000 ≤ uncached-plan/10000 (same code path, so
+//     equal to noise);
+//   - cached: the opted-in shared 1 mJ solve cache over the plan
+//     backend (NewFleet's default before the re-tier — kept in the
+//     trajectory to show why the default flipped: the cache pays
+//     fingerprint+quantize+lookup per solve to save a ~300 ns binary
+//     search).
 func BenchmarkFleetStepAll(b *testing.B) {
 	ctx := context.Background()
 	variants := []struct {
@@ -346,9 +351,10 @@ func BenchmarkFleetStepAll(b *testing.B) {
 	}{
 		{"sequential-uncached-plan", []Option{WithoutSolveCache(), WithWorkers(1)}},
 		{"uncached-plan", []Option{WithoutSolveCache()}},
+		{"default", nil}, // plan-direct since the plan-first re-tier
 		{"uncached-simplex", []Option{WithoutSolveCache(), WithSolver(SolverSimplex)}},
 		{"uncached-enumerate", []Option{WithoutSolveCache(), WithSolver(SolverEnumerate)}},
-		{"cached", nil}, // NewFleet's default shared cache over the plan backend
+		{"cached", []Option{WithSolveCache(DefaultCacheSize, DefaultCacheResolution)}},
 	}
 	for _, n := range []int{1000, 10000} {
 		budgets := correlatedBudgets(n)

@@ -1,0 +1,96 @@
+// Command reapd serves the REAP fleet-allocation solver over HTTP/JSON:
+// a daemon owning a sharded fleet of controller sessions, speaking the
+// versioned wire schema of repro/wire (see DESIGN.md "The reapd
+// service").
+//
+// Usage:
+//
+//	reapd [-addr :8080] [-devices 1024] [-shards 8]
+//	      [-battery 0] [-capacity 0] [-solver plan]
+//	      [-cache 0] [-cacheres 0.001]
+//	      [-rate 0] [-burst 0] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/solve        one stateless allocation
+//	POST /v1/batch-solve  many independent allocations in one round trip
+//	POST /v1/report       measured consumption for owned devices
+//	POST /v1/telemetry    NDJSON stream: harvest in, allocation out
+//	GET  /v1/stats        counters, shard layout, cache stats (if opted in)
+//	GET  /healthz         liveness (503 while draining)
+//
+// -rate enables per-tenant admission control (tenant = X-Tenant header):
+// each tenant gets -rate solves/second with bursts of -burst, excess is
+// answered 429 with Retry-After. SIGTERM/SIGINT drains gracefully:
+// listeners stop accepting, in-flight solves and telemetry events
+// finish, bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reapd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	devices := flag.Int("devices", 1024, "number of owned controller sessions")
+	shards := flag.Int("shards", 0, "fleet shards (0 = min(devices, 8))")
+	battery := flag.Float64("battery", 0, "per-device initial battery charge in J")
+	capacity := flag.Float64("capacity", 0, "per-device battery capacity in J")
+	solver := flag.String("solver", "", "solver backend (default: compiled plan)")
+	cacheSize := flag.Int("cache", 0, "solve cache entries (0 = plan-direct, the fast default)")
+	cacheRes := flag.Float64("cacheres", 0.001, "cache budget quantization in J")
+	rate := flag.Float64("rate", 0, "per-tenant admitted solves/second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "admission burst (0 = max(rate, 1))")
+	drainTimeout := flag.Duration("drain-timeout", 30e9, "grace period for in-flight work on SIGTERM")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Devices:          *devices,
+		Shards:           *shards,
+		BatteryJ:         *battery,
+		CapacityJ:        *capacity,
+		Solver:           *solver,
+		CacheSize:        *cacheSize,
+		CacheResolutionJ: *cacheRes,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := service.NewServer(svc, *addr)
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d devices on %d shards at http://%s", svc.Devices(), svc.Shards(), srv.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case sig := <-sigs:
+		log.Printf("%v: draining (in-flight work finishes, listeners closed)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("drained")
+	}
+}

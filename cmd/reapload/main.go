@@ -1,0 +1,265 @@
+// Command reapload is the load generator for reapd: it drives the
+// solve endpoints at full tilt from a pool of keep-alive connections,
+// measures per-request latency, and renders a benchmark document —
+// BENCH_serve.json, the serving-path counterpart of BENCH_solve.json.
+//
+// Usage:
+//
+//	reapload [-addr 127.0.0.1:8080] [-duration 10s] [-conns 4]
+//	         [-batch 64] [-solver ""] [-tenant bench]
+//	         [-out BENCH_serve.json] [-max-p99 0]
+//
+// With -batch 1 every request is a POST /v1/solve; larger batches go
+// through /v1/batch-solve with that many items per request (one item =
+// one solve, the unit the rate limiter charges and the solves/sec
+// figure counts). Budgets cycle through a fixed spread covering every
+// operating region of the paper's configuration, so the server sees
+// realistic key diversity rather than one hot budget.
+//
+// -max-p99 makes reapload an assertion: if the measured p99 per-request
+// latency exceeds it, the run exits 1 — the CI serve-smoke job's gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/wire"
+)
+
+type stats struct {
+	requests  int
+	solves    int
+	errors    int
+	latencies []time.Duration
+}
+
+type document struct {
+	Addr       string  `json:"addr"`
+	Batch      int     `json:"batch"`
+	Conns      int     `json:"conns"`
+	DurationS  float64 `json:"duration_s"`
+	Requests   int     `json:"requests"`
+	Solves     int     `json:"solves"`
+	Errors     int     `json:"errors"`
+	SolvesPerS float64 `json:"solves_per_sec"`
+	Latency    latency `json:"request_latency_us"`
+}
+
+type latency struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reapload: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "reapd address (host:port)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window")
+	conns := flag.Int("conns", 4, "concurrent connections")
+	batch := flag.Int("batch", 64, "solves per request (1 = /v1/solve singles)")
+	solver := flag.String("solver", "", "solver backend to request (default: server default)")
+	tenant := flag.String("tenant", "bench", "X-Tenant header value")
+	out := flag.String("out", "", "write the benchmark document to this file (default stdout only)")
+	maxP99 := flag.Duration("max-p99", 0, "fail (exit 1) if request p99 exceeds this (0 = no gate)")
+	flag.Parse()
+	if *batch < 1 || *conns < 1 {
+		log.Fatal("batch and conns must be positive")
+	}
+
+	payloads, path := buildPayloads(*batch, *solver)
+	transport := &http.Transport{
+		MaxIdleConns:        *conns * 2,
+		MaxIdleConnsPerHost: *conns * 2,
+	}
+	client := &http.Client{Transport: transport}
+	url := "http://" + *addr + path
+
+	// Warm connections and verify the server speaks our schema before
+	// the measured window.
+	if err := probe(client, url, *tenant, payloads[0]); err != nil {
+		log.Fatalf("probe %s: %v", url, err)
+	}
+
+	deadline := time.Now().Add(*duration)
+	results := make([]stats, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &results[w]
+			for i := 0; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				err := post(client, url, *tenant, payloads[(w+i)%len(payloads)])
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.requests++
+				if err != nil {
+					st.errors++
+					continue
+				}
+				st.solves += *batch
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total stats
+	for i := range results {
+		total.requests += results[i].requests
+		total.solves += results[i].solves
+		total.errors += results[i].errors
+		total.latencies = append(total.latencies, results[i].latencies...)
+	}
+	if total.requests == 0 {
+		log.Fatal("no requests completed")
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	doc := document{
+		Addr:       *addr,
+		Batch:      *batch,
+		Conns:      *conns,
+		DurationS:  elapsed.Seconds(),
+		Requests:   total.requests,
+		Solves:     total.solves,
+		Errors:     total.errors,
+		SolvesPerS: float64(total.solves) / elapsed.Seconds(),
+		Latency: latency{
+			Mean: mean(total.latencies),
+			P50:  percentile(total.latencies, 0.50),
+			P90:  percentile(total.latencies, 0.90),
+			P99:  percentile(total.latencies, 0.99),
+			P999: percentile(total.latencies, 0.999),
+			Max:  us(total.latencies[len(total.latencies)-1]),
+		},
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	os.Stdout.Write(raw)
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *maxP99 > 0 && doc.Latency.P99 > us(*maxP99) {
+		log.Fatalf("p99 %.0f µs exceeds gate %v", doc.Latency.P99, *maxP99)
+	}
+}
+
+// buildPayloads pre-encodes a cycle of request bodies whose budgets
+// sweep the dead region through saturation (0–11 J for the paper's
+// configuration), so consecutive requests exercise distinct solves.
+func buildPayloads(batch int, solver string) (payloads [][]byte, path string) {
+	budget := func(i int) float64 { return 11.0 * float64(i%97) / 97 }
+	const variants = 16
+	for v := 0; v < variants; v++ {
+		var body any
+		if batch == 1 {
+			body = &wire.SolveRequest{V: wire.Version, BudgetJ: budget(v), Solver: solver}
+			path = "/v1/solve"
+		} else {
+			items := make([]wire.SolveItem, batch)
+			for i := range items {
+				items[i] = wire.SolveItem{BudgetJ: budget(v*batch + i), Solver: solver}
+			}
+			body = &wire.BatchSolveRequest{V: wire.Version, Items: items}
+			path = "/v1/batch-solve"
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payloads = append(payloads, raw)
+	}
+	return payloads, path
+}
+
+func post(client *http.Client, url, tenant string, payload []byte) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain so the connection is reusable; the payload is not parsed on
+	// the hot path — correctness is the service tests' job, throughput
+	// is ours.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// probe sends one request outside the measured window and surfaces its
+// body on failure, so a misconfigured run dies with the server's error
+// instead of a thousand status-4xx counts.
+func probe(client *http.Client, url, tenant string, payload []byte) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func mean(ds []time.Duration) float64 {
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return us(sum) / float64(len(ds))
+}
+
+// percentile reads the q-quantile from sorted latencies using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return us(sorted[i])
+}

@@ -9,6 +9,8 @@
 //	hotalloc     //reap:hotpath functions contain no allocating
 //	             constructs
 //	floatcmp     no raw == / != on floats outside internal/fpx
+//	nodeprecated no new callers of Deprecated: symbols — the root
+//	             package's compatibility wrappers stay caller-free
 //
 // Usage:
 //
@@ -34,6 +36,7 @@ import (
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/nodeprecated"
 )
 
 var suite = []*analysis.Analyzer{
@@ -41,6 +44,7 @@ var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	hotalloc.Analyzer,
 	floatcmp.Analyzer,
+	nodeprecated.Analyzer,
 }
 
 func main() {

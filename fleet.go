@@ -21,11 +21,13 @@ import (
 //	fleet, _ := reap.NewFleet(1000, reap.WithBattery(20, 100))
 //	allocs, err := fleet.StepAll(ctx, budgets) // budgets[i] for device i
 //
-// By default the fleet shares one solve cache across all devices (see
-// WithSolveCache): budgets are quantized down to 1 mJ so devices under
-// near-identical harvesting conditions reuse one LP solution, and
-// concurrent misses on the same entry coalesce onto a single solve.
-// Construct with WithoutSolveCache for bit-exact per-device solving.
+// By default every device solves directly on the compiled parametric
+// plan: devices sharing a configuration share one memoized core.Plan,
+// so a solve is a lock-free binary search with no allocation. A solve
+// cache (WithSolveCache) is an explicit opt-in for expensive backends
+// — simplex or remote solvers — where budgets quantize down to share
+// one LP solution across near-identical devices and concurrent misses
+// coalesce onto a single solve.
 type Fleet struct {
 	ctls    []*Controller
 	workers int
@@ -41,9 +43,10 @@ type Fleet struct {
 
 // NewFleet creates n controller sessions from the same options New
 // accepts, plus WithWorkers to bound StepAll's concurrency and
-// WithDeviceOverride to vary settings per device. Unless the options say
-// otherwise, the fleet gets a shared solve cache of DefaultCacheSize
-// entries at DefaultCacheResolution.
+// WithDeviceOverride to vary settings per device. The default solve
+// path is the fingerprint-memoized compiled plan — the fastest path;
+// WithSolveCache opts into budget-quantized caching for expensive
+// backends.
 func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: fleet size %d must be positive", ErrInvalidConfig, n)
@@ -51,13 +54,6 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	s := defaultSettings()
 	if err := s.apply(opts); err != nil {
 		return nil, err
-	}
-	if !s.cacheSet {
-		sc, err := NewSolveCache(DefaultCacheSize, DefaultCacheResolution)
-		if err != nil {
-			return nil, err
-		}
-		s.solveCache = sc
 	}
 	solver, tag, err := s.resolveSolver()
 	if err != nil {
@@ -120,7 +116,9 @@ func (f *Fleet) Device(i int) (*Controller, error) {
 }
 
 // CacheStats snapshots the fleet's shared solve cache; ok is false when
-// the fleet was built with WithoutSolveCache.
+// the fleet solves without one (the default) — callers must branch on
+// ok to tell "no cache configured" from "cache configured but cold",
+// whose stats are both zero.
 func (f *Fleet) CacheStats() (stats CacheStats, ok bool) {
 	if f.cache == nil {
 		return CacheStats{}, false
@@ -356,10 +354,11 @@ type Result struct {
 // serving stateless solve RPCs). results[i] answers reqs[i]; cancelling
 // the context marks every unstarted request with ctx.Err().
 //
-// Unlike NewFleet, batches solve uncached by default (a sweep's budgets
-// are all distinct, and exactness matters for grids). Opting in with
-// WithSolveCache or WithSharedSolveCache routes every request through
-// the cache — sharing entries across batches when the cache is shared.
+// Batches solve uncached by default, like every constructor since the
+// plan-first re-tier (a sweep's budgets are all distinct, and exactness
+// matters for grids). Opting in with WithSolveCache or
+// WithSharedSolveCache routes every request through the cache — sharing
+// entries across batches when the cache is shared.
 // Option errors fail the whole batch: every result carries the error.
 // Requests on the default plan backend compile each distinct
 // configuration fingerprint once (the backend memoizes compiled plans),

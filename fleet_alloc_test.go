@@ -36,13 +36,13 @@ func fleetTickAllocs(t *testing.T, opts ...Option) float64 {
 }
 
 func TestFleetTickZeroAllocsPlanPath(t *testing.T) {
-	if allocs := fleetTickAllocs(t, WithoutSolveCache()); allocs != 0 {
-		t.Fatalf("uncached plan-path fleet tick allocated %v times per run, want 0", allocs)
+	if allocs := fleetTickAllocs(t); allocs != 0 {
+		t.Fatalf("default plan-path fleet tick allocated %v times per run, want 0", allocs)
 	}
 }
 
 func TestFleetTickZeroAllocsCacheHitPath(t *testing.T) {
-	if allocs := fleetTickAllocs(t); allocs != 0 {
+	if allocs := fleetTickAllocs(t, WithSolveCache(DefaultCacheSize, DefaultCacheResolution)); allocs != 0 {
 		t.Fatalf("cache-hit fleet tick allocated %v times per run, want 0", allocs)
 	}
 }

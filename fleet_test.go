@@ -13,10 +13,11 @@ import (
 
 // TestFleetStepAllMatchesSequential checks that the concurrent fleet path
 // produces exactly the schedules a sequential per-device loop would, over
-// 1000 devices spanning every operating region. WithoutSolveCache keeps
-// the comparison bit-exact (the default fleet cache quantizes budgets;
-// TestFleetDefaultCacheWithinQuantizationBound covers that path). Run
-// under -race this is also the fleet's data-race test.
+// 1000 devices spanning every operating region. WithoutSolveCache here is
+// belt-and-braces: uncached solving is the default since the plan-first
+// re-tier, and the opted-in quantizing cache has its own test
+// (TestFleetOptInCacheWithinQuantizationBound). Run under -race this is
+// also the fleet's data-race test.
 func TestFleetStepAllMatchesSequential(t *testing.T) {
 	const n = 1000
 	ctx := context.Background()
@@ -123,17 +124,18 @@ func maxMarginalValue(cfg Config) float64 {
 	return slope
 }
 
-// TestFleetDefaultCacheWithinQuantizationBound checks the default cached
-// fleet against an exact fleet: every cached allocation stays feasible
-// for the true budget and loses at most resolution·maxslope objective.
-func TestFleetDefaultCacheWithinQuantizationBound(t *testing.T) {
+// TestFleetOptInCacheWithinQuantizationBound checks a fleet with the
+// opted-in quantizing solve cache against a default (plan-direct)
+// fleet: every cached allocation stays feasible for the true budget and
+// loses at most resolution·maxslope objective.
+func TestFleetOptInCacheWithinQuantizationBound(t *testing.T) {
 	const n = 500
 	ctx := context.Background()
-	cached, err := NewFleet(n)
+	cached, err := NewFleet(n, WithSolveCache(DefaultCacheSize, DefaultCacheResolution))
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := NewFleet(n, WithoutSolveCache())
+	exact, err := NewFleet(n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestFleetDefaultCacheWithinQuantizationBound(t *testing.T) {
 
 	stats, ok := cached.CacheStats()
 	if !ok {
-		t.Fatal("default fleet reports no cache")
+		t.Fatal("opted-in fleet reports no cache")
 	}
 	if lookups := stats.Hits + stats.Misses + stats.Coalesced; lookups != n {
 		t.Fatalf("cache saw %d lookups for %d devices", lookups, n)
@@ -180,6 +182,33 @@ func TestFleetDefaultCacheWithinQuantizationBound(t *testing.T) {
 	}
 	if stats.Hits+stats.Coalesced < n-50 {
 		t.Fatalf("stats %+v: want at least %d lookups deduplicated", stats, n-50)
+	}
+}
+
+// TestFleetCacheStatsDistinguishesAbsentFromCold is the regression test
+// for the stats ambiguity the reapd stats endpoint depends on: a fleet
+// without a cache answers ok=false, while a fleet whose opted-in cache
+// has simply never been hit answers ok=true with zero counters. Before
+// the (CacheStats, bool) signature both cases read as zero-value stats.
+func TestFleetCacheStatsDistinguishesAbsentFromCold(t *testing.T) {
+	uncached, err := NewFleet(3) // plan-direct default: no cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats, ok := uncached.CacheStats(); ok {
+		t.Fatalf("default (plan-direct) fleet reports a cache: %+v", stats)
+	}
+
+	cold, err := NewFleet(3, WithSolveCache(64, DefaultCacheResolution))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := cold.CacheStats()
+	if !ok {
+		t.Fatal("opted-in fleet reports no cache")
+	}
+	if stats != (CacheStats{Capacity: 64}) {
+		t.Fatalf("cold cache stats = %+v, want zero counters with capacity 64", stats)
 	}
 }
 

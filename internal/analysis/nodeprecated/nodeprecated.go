@@ -1,0 +1,147 @@
+// Package nodeprecated keeps deprecated API out of shipping code.
+//
+// The root package carries thin wrappers kept for source compatibility
+// (DefaultConfig, Solve, SolveEnumerate, NewController), each marked
+// with a standard "Deprecated:" doc paragraph. Every caller in the tree
+// has been migrated to the replacement API; this analyzer is the
+// ratchet that keeps it that way — a new use of a deprecated symbol is
+// a reapvet finding, not a code-review coin flip.
+//
+// Detection is two-layered because the loader resolves imports through
+// compiler export data, which carries no doc comments:
+//
+//   - Cross-package uses check against a hardcoded table of deprecated
+//     symbols per import path. The table is pinned to the source of
+//     truth by a test that greps the defining package's doc comments —
+//     deprecating or un-deprecating a symbol without updating the table
+//     fails the analyzer's own tests.
+//
+//   - Same-package uses (where source, and therefore doc comments, are
+//     in hand) detect "Deprecated:" markers directly, so a package
+//     cannot quietly keep calling its own deprecated API. The
+//     deprecated declarations themselves are exempt — a wrapper may
+//     reference its own kind while it exists.
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Deprecated maps import path → symbol → replacement hint for packages
+// whose deprecations must be visible across package boundaries (export
+// data strips doc comments, so this table is the boundary's memory).
+// TestTableMatchesSource pins it to the actual Deprecated: markers in
+// the defining package's source.
+var Deprecated = map[string]map[string]string{
+	"repro": {
+		"DefaultConfig":  "NewConfig",
+		"Solve":          "LookupSolver(SolverSimplex)",
+		"SolveEnumerate": "LookupSolver(SolverEnumerate)",
+		"NewController":  "New with options",
+	},
+}
+
+// Analyzer reports uses of deprecated symbols.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc: "no new callers of Deprecated: symbols — use the replacement " +
+		"API named in the deprecation notice",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	local := localDeprecated(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Uses inside a deprecated declaration are exempt: the
+			// wrappers exist to delegate, and they may go together.
+			if decl, ok := n.(*ast.FuncDecl); ok && isDeprecatedDecl(decl.Doc) {
+				return false
+			}
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[ident]
+			if obj == nil || obj.Pkg() == nil || !packageScoped(obj) {
+				return true
+			}
+			if obj.Pkg() == pass.Pkg {
+				if local[obj] {
+					pass.Reportf(ident.Pos(),
+						"%s is deprecated — see its Deprecated: notice for the replacement", obj.Name())
+				}
+				return true
+			}
+			if hint, ok := Deprecated[obj.Pkg().Path()][obj.Name()]; ok {
+				pass.Reportf(ident.Pos(),
+					"%s.%s is deprecated — use %s", obj.Pkg().Path(), obj.Name(), hint)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageScoped reports whether obj is declared at package scope —
+// methods and locals that merely share a deprecated symbol's name must
+// not be flagged.
+func packageScoped(obj types.Object) bool {
+	return obj.Parent() == obj.Pkg().Scope()
+}
+
+// localDeprecated collects the pass package's own objects whose doc
+// comment carries a Deprecated: paragraph.
+func localDeprecated(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(name *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[name]; obj != nil {
+			out[obj] = true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if isDeprecatedDecl(decl.Doc) {
+					mark(decl.Name)
+				}
+			case *ast.GenDecl:
+				declDoc := isDeprecatedDecl(decl.Doc)
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if declDoc || isDeprecatedDecl(spec.Doc) {
+							mark(spec.Name)
+						}
+					case *ast.ValueSpec:
+						if declDoc || isDeprecatedDecl(spec.Doc) {
+							for _, name := range spec.Names {
+								mark(name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isDeprecatedDecl implements the godoc convention: a doc-comment
+// paragraph starting "Deprecated:" marks the symbol deprecated.
+func isDeprecatedDecl(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package nodeprecated_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeprecated"
+)
+
+func TestCrossPackageUses(t *testing.T) {
+	analysistest.Run(t, nodeprecated.Analyzer, "testdata/cross", "repro/cmd/fixture")
+}
+
+func TestSelfPackageUses(t *testing.T) {
+	analysistest.Run(t, nodeprecated.Analyzer, "testdata/self", "repro/internal/fixture")
+}
+
+// TestTableMatchesSource pins the analyzer's hardcoded cross-package
+// table to the source of truth: the Deprecated: doc markers in the root
+// package. Deprecating a symbol without teaching the analyzer — or
+// keeping a stale table entry after a wrapper is deleted — fails here.
+func TestTableMatchesSource(t *testing.T) {
+	fromSource := map[string]bool{}
+	files, err := filepath.Glob("../../../*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", file, err)
+		}
+		if f.Name.Name != "reap" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Recv == nil && hasDeprecated(decl.Doc) {
+					fromSource[decl.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if hasDeprecated(decl.Doc) || hasDeprecated(spec.Doc) {
+							fromSource[spec.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						if hasDeprecated(decl.Doc) || hasDeprecated(spec.Doc) {
+							for _, name := range spec.Names {
+								fromSource[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(fromSource) == 0 {
+		t.Fatal("found no Deprecated: markers in the root package — wrong directory?")
+	}
+
+	table := nodeprecated.Deprecated["repro"]
+	for name := range fromSource {
+		if _, ok := table[name]; !ok {
+			t.Errorf("repro.%s carries a Deprecated: marker but is missing from the nodeprecated table", name)
+		}
+	}
+	for name := range table {
+		if !fromSource[name] {
+			t.Errorf("nodeprecated table lists repro.%s, which carries no Deprecated: marker in source", name)
+		}
+	}
+}
+
+func hasDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Fixture for the nodeprecated analyzer, loaded as repro/cmd/fixture:
+// cross-package uses of the root package's deprecated wrappers are
+// findings; the replacement API and same-named local symbols are not.
+package fixture
+
+import reap "repro"
+
+func useDeprecated() error {
+	cfg := reap.DefaultConfig()                   // want `repro\.DefaultConfig is deprecated — use NewConfig`
+	if _, err := reap.Solve(cfg, 1); err != nil { // want `repro\.Solve is deprecated — use LookupSolver\(SolverSimplex\)`
+		return err
+	}
+	if _, err := reap.SolveEnumerate(cfg, 1); err != nil { // want `repro\.SolveEnumerate is deprecated — use LookupSolver\(SolverEnumerate\)`
+		return err
+	}
+	_, err := reap.NewController(cfg, 1, 10) // want `repro\.NewController is deprecated — use New with options`
+	return err
+}
+
+func useReplacements() error {
+	cfg, err := reap.NewConfig()
+	if err != nil {
+		return err
+	}
+	_, err = reap.New(reap.WithConfig(cfg), reap.WithBattery(1, 10))
+	return err
+}
+
+// localSolver's method merely shares a deprecated symbol's name;
+// methods are never package-scoped, so it must not be flagged.
+type localSolver struct{}
+
+func (localSolver) Solve() {}
+
+// DefaultConfig shadows the deprecated name locally — also clean.
+func DefaultConfig() int { return 0 }
+
+func useLocals() int {
+	localSolver{}.Solve()
+	return DefaultConfig()
+}

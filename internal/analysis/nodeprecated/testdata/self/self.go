@@ -1,0 +1,30 @@
+// Fixture for the nodeprecated analyzer, loaded as a standalone
+// package: a package cannot keep calling its own Deprecated: symbols,
+// but the deprecated declarations themselves may reference each other
+// while they exist.
+package fixture
+
+// Old is the original entry point.
+//
+// Deprecated: use Fresh.
+func Old() int { return Fresh() }
+
+// Older predates even Old.
+//
+// Deprecated: use Fresh. Referencing Old here is exempt — deprecated
+// wrappers delegate among themselves until they are deleted together.
+func Older() int { return Old() }
+
+// Fresh is the replacement.
+func Fresh() int { return 1 }
+
+func caller() int { return Old() } // want `Old is deprecated`
+
+// Knob is a tuning constant nobody should touch anymore.
+//
+// Deprecated: configure via Fresh.
+var Knob = 3
+
+func readKnob() int { return Knob } // want `Knob is deprecated`
+
+func useFresh() int { return Fresh() }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server binds a Service to a listener and owns the SIGTERM drain
+// sequence. It exists so cmd/reapd stays a flag-parsing shell and the
+// drain semantics are testable in-process.
+type Server struct {
+	svc  *Service
+	http *http.Server
+	lis  net.Listener
+}
+
+// NewServer wraps svc for serving on addr (host:port; ":0" picks a free
+// port, exposed by Addr after Start).
+func NewServer(svc *Service, addr string) *Server {
+	return &Server{
+		svc: svc,
+		http: &http.Server{
+			Addr:              addr,
+			Handler:           svc.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+}
+
+// Start binds the listener. It returns once the address is bound, so
+// callers can read Addr immediately; Serve drives the accept loop.
+func (s *Server) Start() error {
+	lis, err := net.Listen("tcp", s.http.Addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", s.http.Addr, err)
+	}
+	s.lis = lis
+	return nil
+}
+
+// Addr returns the bound address; only valid after Start.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return s.http.Addr
+	}
+	return s.lis.Addr().String()
+}
+
+// Serve runs the accept loop until Drain (or a listener error). A drain
+// ends Serve with nil, mirroring http.ErrServerClosed.
+func (s *Server) Serve() error {
+	err := s.http.Serve(s.lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Drain is the graceful-shutdown sequence cmd/reapd runs on SIGTERM:
+// the service stops admitting new work (in-flight solves and telemetry
+// events finish and answer), then the HTTP server closes its listener
+// and waits for active requests to complete, bounded by ctx. After the
+// deadline any stragglers are cut off hard.
+func (s *Server) Drain(ctx context.Context) error {
+	s.svc.Drain()
+	if err := s.http.Shutdown(ctx); err != nil {
+		// Deadline hit with connections still open: close them rather
+		// than leak the process.
+		_ = s.http.Close()
+		return fmt.Errorf("service: drain: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,514 @@
+// Package service is the reapd fleet-allocation daemon behind cmd/reapd:
+// it owns a sharded fleet of controller sessions and serves the solver
+// over HTTP/JSON using the typed structs of repro/wire.
+//
+// The architecture follows the registry-of-small-services shape named in
+// ROADMAP.md rather than one monolith handler: each endpoint is a small
+// single-purpose handler, every payload passes through the wire schema
+// (strict decode, explicit versioning), and cross-cutting concerns —
+// per-tenant admission control, drain state, counters — compose around
+// the handlers rather than inside them.
+//
+//   - Sharding: the owned fleet is partitioned contiguously into shards,
+//     each wrapping its own reap.Fleet behind its own mutex. Stateful
+//     work (telemetry steps, reports) serializes per shard and runs
+//     concurrently across shards; stateless solves never touch a shard.
+//   - Admission: a per-tenant token bucket (tenant = X-Tenant header)
+//     charges one token per solve — batch items each cost one — and
+//     rejects over-budget work with 429 and a Retry-After hint.
+//   - Drain: Drain stops admitting new work (503 draining) while
+//     in-flight requests, including open telemetry streams, finish;
+//     Server.Drain composes this with http.Server.Shutdown so listeners
+//     close too. cmd/reapd wires SIGTERM to exactly that.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	reap "repro"
+	"repro/wire"
+)
+
+// Config sizes a Service. The zero value is not runnable — Devices must
+// be positive; every other field has a usable default.
+type Config struct {
+	// Devices is the number of controller sessions the daemon owns.
+	Devices int
+	// Shards partitions the fleet; 0 picks min(Devices, 8). Stateful
+	// endpoints lock one shard, so more shards mean more telemetry
+	// concurrency at the cost of more fleets.
+	Shards int
+	// BatteryJ/CapacityJ is every device's initial battery state.
+	BatteryJ, CapacityJ float64
+	// Solver names the backend for every solve; empty = default (plan).
+	Solver string
+	// CacheSize, when positive, opts the owned fleet into one solve
+	// cache of that capacity shared across all shards, quantizing at
+	// CacheResolutionJ. Zero (the default) is the plan-direct fast
+	// path — see the plan-first re-tier in DESIGN.md.
+	CacheSize        int
+	CacheResolutionJ float64
+	// RatePerSec is the per-tenant admission rate in solves per second;
+	// 0 disables rate limiting. Burst is the token-bucket depth, at
+	// least 1 (default max(RatePerSec, 1)).
+	RatePerSec float64
+	Burst      int
+}
+
+// Service owns the sharded fleet and implements the endpoint handlers.
+type Service struct {
+	cfg     Config
+	shards  []*shard
+	bounds  []int // shard i owns global devices [bounds[i], bounds[i+1])
+	cache   *reap.SolveCache
+	limiter *limiter
+
+	draining atomic.Bool
+
+	solves      atomic.Uint64
+	batchItems  atomic.Uint64
+	steps       atomic.Uint64
+	reports     atomic.Uint64
+	rateLimited atomic.Uint64
+
+	// testHookSolve, when set, runs inside the solve handler between
+	// admission and the solve itself — the seam the drain test uses to
+	// hold a request in flight deterministically.
+	testHookSolve func()
+}
+
+// shard is one partition of the owned fleet: a reap.Fleet plus the
+// mutex that serializes stateful access to it (Controller sessions are
+// not safe for concurrent stepping).
+type shard struct {
+	mu    sync.Mutex
+	fleet *reap.Fleet
+	lo    int
+}
+
+// New builds the sharded service. Every shard's fleet shares one solve
+// cache when caching is opted in, so stats and entries aggregate across
+// the whole daemon.
+func New(cfg Config) (*Service, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("%w: service needs a positive device count, got %d",
+			reap.ErrInvalidConfig, cfg.Devices)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Shards > cfg.Devices {
+		cfg.Shards = cfg.Devices
+	}
+	s := &Service{cfg: cfg}
+
+	opts := []reap.Option{reap.WithBattery(cfg.BatteryJ, cfg.CapacityJ)}
+	if cfg.Solver != "" {
+		opts = append(opts, reap.WithSolver(cfg.Solver))
+	}
+	if cfg.CacheSize > 0 {
+		sc, err := reap.NewSolveCache(cfg.CacheSize, cfg.CacheResolutionJ)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = sc
+		opts = append(opts, reap.WithSharedSolveCache(sc))
+	}
+
+	s.bounds = make([]int, cfg.Shards+1)
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		lo := i * cfg.Devices / cfg.Shards
+		hi := (i + 1) * cfg.Devices / cfg.Shards
+		s.bounds[i], s.bounds[i+1] = lo, hi
+		fleet, err := reap.NewFleet(hi-lo, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = &shard{fleet: fleet, lo: lo}
+	}
+
+	if cfg.RatePerSec > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = int(math.Max(cfg.RatePerSec, 1))
+		}
+		s.limiter = newLimiter(cfg.RatePerSec, float64(burst))
+	}
+	return s, nil
+}
+
+// Devices returns the number of controller sessions the service owns.
+func (s *Service) Devices() int { return s.cfg.Devices }
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain flips the service into drain mode: new work is refused with
+// 503/CodeDraining while requests already admitted run to completion.
+// Open telemetry streams finish their current event and close. Drain
+// does not touch listeners — Server.Drain pairs it with
+// http.Server.Shutdown for the full SIGTERM sequence.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// shardFor maps a global device index to its shard, or an unknown-device
+// error.
+func (s *Service) shardFor(device int) (*shard, error) {
+	if device < 0 || device >= s.cfg.Devices {
+		return nil, wire.Errorf(wire.CodeUnknownDevice,
+			"device %d outside owned fleet [0, %d)", device, s.cfg.Devices)
+	}
+	// Contiguous partition: shard sizes differ by at most one, so the
+	// proportional guess lands on the owner or its neighbor.
+	i := device * len(s.shards) / s.cfg.Devices
+	for i+1 < len(s.bounds) && device >= s.bounds[i+1] {
+		i++
+	}
+	for i > 0 && device < s.bounds[i] {
+		i--
+	}
+	return s.shards[i], nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch-solve", s.handleBatchSolve)
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// admit runs the cross-cutting request gates — drain state, then the
+// tenant token bucket at the given solve cost — writing the refusal
+// itself when the request may not proceed.
+func (s *Service) admit(w http.ResponseWriter, r *http.Request, cost float64) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable,
+			wire.Errorf(wire.CodeDraining, "server is draining"))
+		return false
+	}
+	if s.limiter == nil || cost <= 0 {
+		return true
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	retryAfter, ok := s.limiter.admit(tenant, cost)
+	if !ok {
+		s.rateLimited.Add(1)
+		secs := int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests,
+			wire.Errorf(wire.CodeRateLimited, "tenant %q over admission rate, retry in %ds", tenant, secs))
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 1) {
+		return
+	}
+	var req wire.SolveRequest
+	if err := wire.DecodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if err := wire.CheckVersion(req.V); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if s.testHookSolve != nil {
+		s.testHookSolve()
+	}
+	resp, werr := s.solveOne(r.Context(), wire.SolveItem{
+		Config: req.Config, BudgetJ: req.BudgetJ, Solver: req.Solver,
+	})
+	if werr != nil {
+		writeError(w, statusFor(werr), werr)
+		return
+	}
+	s.solves.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveOne answers one stateless solve item — the shared core of the
+// solve and batch-solve endpoints.
+func (s *Service) solveOne(ctx context.Context, item wire.SolveItem) (*wire.SolveResponse, *wire.Error) {
+	name := item.Solver
+	if name == "" {
+		name = reap.DefaultSolver
+	}
+	solver, err := reap.LookupSolver(name)
+	if err != nil {
+		return nil, wire.AsError(err)
+	}
+	cfg := item.Config.ToReap()
+	alloc, err := solver.Solve(ctx, cfg, item.BudgetJ)
+	if err != nil {
+		return nil, wire.AsError(err)
+	}
+	return wire.NewSolveResponse(cfg, alloc), nil
+}
+
+func (s *Service) handleBatchSolve(w http.ResponseWriter, r *http.Request) {
+	// Charging admission per item keeps one tenant's 10k-item batch
+	// from being cheaper than 10k solos; the body must decode first to
+	// know the cost, so decode precedes admission here.
+	var req wire.BatchSolveRequest
+	if err := wire.DecodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if err := wire.CheckVersion(req.V); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if !s.admit(w, r, float64(len(req.Items))) {
+		return
+	}
+	reqs := make([]reap.Request, len(req.Items))
+	for i, item := range req.Items {
+		reqs[i] = item.ToRequest()
+	}
+	results := reap.SolveBatch(r.Context(), reqs)
+	resp := wire.BatchSolveResponse{V: wire.Version, Results: make([]wire.SolveResult, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			resp.Results[i].Error = wire.AsError(res.Err)
+			continue
+		}
+		resp.Results[i].Solve = wire.NewSolveResponse(reqs[i].Config, res.Allocation)
+	}
+	s.batchItems.Add(uint64(len(req.Items)))
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 0) { // reports are cheap: drain-gated, not rate-charged
+		return
+	}
+	var req wire.ReportRequest
+	if err := wire.DecodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if err := wire.CheckVersion(req.V); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	for _, rep := range req.Reports {
+		if werr := s.reportDevice(rep.Device, rep.ConsumedJ); werr != nil {
+			writeError(w, statusFor(werr), werr)
+			return
+		}
+	}
+	s.reports.Add(uint64(len(req.Reports)))
+	writeJSON(w, http.StatusOK, &wire.ReportResponse{V: wire.Version, Accepted: len(req.Reports)})
+}
+
+func (s *Service) reportDevice(device int, consumedJ float64) *wire.Error {
+	sh, err := s.shardFor(device)
+	if err != nil {
+		return wire.AsError(err)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ctl, derr := sh.fleet.Device(device - sh.lo)
+	if derr != nil {
+		return wire.AsError(derr)
+	}
+	if rerr := ctl.Report(consumedJ); rerr != nil {
+		return wire.AsError(rerr)
+	}
+	return nil
+}
+
+// stepDevice plans one owned device's next period from its reported
+// harvest, under its shard's lock.
+func (s *Service) stepDevice(ctx context.Context, device int, harvestJ float64) (reap.Allocation, reap.Config, *wire.Error) {
+	sh, err := s.shardFor(device)
+	if err != nil {
+		return reap.Allocation{}, reap.Config{}, wire.AsError(err)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ctl, derr := sh.fleet.Device(device - sh.lo)
+	if derr != nil {
+		return reap.Allocation{}, reap.Config{}, wire.AsError(derr)
+	}
+	alloc, serr := ctl.StepContext(ctx, harvestJ)
+	if serr != nil {
+		return reap.Allocation{}, reap.Config{}, wire.AsError(serr)
+	}
+	return alloc, ctl.Config(), nil
+}
+
+// handleTelemetry is the streaming ingest endpoint: NDJSON
+// TelemetryEvent lines in, one TelemetryResult line out per event, in
+// order, flushed per event so devices see their allocation as soon as
+// it is planned. Per-event failures answer on the stream and keep it
+// open; only an unreadable stream ends the exchange. A drain finishes
+// the in-flight event and then closes the stream, so SIGTERM never
+// abandons a half-processed event.
+func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 0) { // charged per event below, not per stream
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev wire.TelemetryEvent
+		res := s.telemetryEvent(r.Context(), tenant, line, &ev)
+		if err := enc.Encode(res); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if s.draining.Load() {
+			return // finish current event, then close the stream
+		}
+	}
+}
+
+// telemetryEvent processes one NDJSON line: strict decode, version and
+// admission checks, then consumption report and/or harvest step.
+func (s *Service) telemetryEvent(ctx context.Context, tenant string, line []byte, ev *wire.TelemetryEvent) *wire.TelemetryResult {
+	res := &wire.TelemetryResult{V: wire.Version, Device: -1}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(ev); err != nil {
+		res.Error = wire.Errorf(wire.CodeMalformed, "decoding telemetry event: %v", err)
+		return res
+	}
+	res.Device = ev.Device
+	if err := wire.CheckVersion(ev.V); err != nil {
+		res.Error = wire.AsError(err)
+		return res
+	}
+	// A step is a solve; charge it like one. Reports stay uncharged.
+	if ev.HarvestJ != nil && s.limiter != nil {
+		if retry, ok := s.limiter.admit(tenant, 1); !ok {
+			s.rateLimited.Add(1)
+			res.Error = wire.Errorf(wire.CodeRateLimited,
+				"over admission rate, retry in %v", retry.Round(time.Millisecond))
+			return res
+		}
+	}
+	if ev.ConsumedJ != nil {
+		if werr := s.reportDevice(ev.Device, *ev.ConsumedJ); werr != nil {
+			res.Error = werr
+			return res
+		}
+		s.reports.Add(1)
+	}
+	if ev.HarvestJ != nil {
+		alloc, _, werr := s.stepDevice(ctx, ev.Device, *ev.HarvestJ)
+		if werr != nil {
+			res.Error = werr
+			return res
+		}
+		wa := wire.FromAllocation(alloc)
+		res.Allocation = &wa
+		s.steps.Add(1)
+	}
+	return res
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the service counters. Cache is nil when the fleet
+// runs plan-direct (no cache configured) and non-nil — possibly all
+// zeros — when a cache exists but is cold; reapd's stats endpoint keeps
+// the two distinguishable because Fleet.CacheStats reports presence
+// separately from counters.
+func (s *Service) Stats() *wire.StatsResponse {
+	resp := &wire.StatsResponse{
+		V:           wire.Version,
+		Devices:     s.cfg.Devices,
+		Shards:      len(s.shards),
+		Solves:      s.solves.Load(),
+		BatchItems:  s.batchItems.Load(),
+		Steps:       s.steps.Load(),
+		Reports:     s.reports.Load(),
+		RateLimited: s.rateLimited.Load(),
+		Draining:    s.draining.Load(),
+	}
+	// All shards share one cache, so any shard's fleet answers for the
+	// daemon; a plan-direct fleet answers ok=false and Cache stays nil.
+	if stats, ok := s.shards[0].fleet.CacheStats(); ok {
+		resp.Cache = wire.FromCacheStats(stats)
+	}
+	return resp
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// statusFor maps wire error codes onto HTTP statuses.
+func statusFor(e *wire.Error) int {
+	switch e.Code {
+	case wire.CodeMalformed, wire.CodeUnknownVersion, wire.CodeInvalidConfig,
+		wire.CodeBudgetNegative, wire.CodeUnknownSolver, wire.CodeUnknownDevice:
+		return http.StatusBadRequest
+	case wire.CodeRateLimited:
+		return http.StatusTooManyRequests
+	case wire.CodeDraining:
+		return http.StatusServiceUnavailable
+	case wire.CodeInfeasible, wire.CodeSolverFailure:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e *wire.Error) {
+	writeJSON(w, status, &wire.ErrorResponse{V: wire.Version, Error: *e})
+}

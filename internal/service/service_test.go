@@ -1,0 +1,568 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	reap "repro"
+	"repro/wire"
+)
+
+func init() {
+	// A deterministic way to exercise the infeasible → 422 path: the
+	// stateless solve endpoints accept any budget ≥ 0 on the real
+	// backends, so infeasibility must come from a backend that produces
+	// it.
+	err := reap.RegisterSolver("svc-test-infeasible",
+		reap.SolverFunc(func(ctx context.Context, cfg reap.Config, budget float64) (reap.Allocation, error) {
+			return reap.Allocation{}, fmt.Errorf("svc test: %w", reap.ErrInfeasible)
+		}))
+	if err != nil {
+		panic(err)
+	}
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.Devices == 0 {
+		cfg.Devices = 16
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return svc
+}
+
+// do sends one request through the service handler. body is marshalled
+// unless it is already a []byte (raw payloads for malformed-input
+// cases).
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var raw []byte
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		raw = b
+	default:
+		var err error
+		if raw, err = json.Marshal(b); err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeErrCode(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var resp wire.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding error response %q: %v", rec.Body.String(), err)
+	}
+	return resp.Error.Code
+}
+
+func TestSolveHappyPath(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+
+	rec := do(t, h, http.MethodPost, "/v1/solve", &wire.SolveRequest{V: wire.Version, BudgetJ: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp wire.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.V != wire.Version {
+		t.Errorf("response v = %d, want %d", resp.V, wire.Version)
+	}
+	if resp.EnergyJ > 5+1e-9 {
+		t.Errorf("allocation spends %.6f J over the 5 J budget", resp.EnergyJ)
+	}
+	if resp.ExpectedAccuracy <= 0 {
+		t.Errorf("expected accuracy %.6f, want positive for a mid-range budget", resp.ExpectedAccuracy)
+	}
+	cfg := (*wire.Config)(nil).ToReap()
+	var total float64
+	for _, a := range resp.Allocation.ActiveS {
+		total += a
+	}
+	total += resp.Allocation.OffS + resp.Allocation.DeadS
+	if diff := total - cfg.Period; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("allocation covers %.9f s of a %.1f s period", total, cfg.Period)
+	}
+	if got := svc.Stats().Solves; got != 1 {
+		t.Errorf("stats solves = %d, want 1", got)
+	}
+}
+
+func TestSolveRejectsBadRequests(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+
+	cases := []struct {
+		name     string
+		body     any
+		wantCode string
+	}{
+		{"malformed_json", []byte(`{"v":1,`), wire.CodeMalformed},
+		{"unknown_field", []byte(`{"v":1,"budget_j":1,"bogus":true}`), wire.CodeMalformed},
+		{"trailing_data", []byte(`{"v":1,"budget_j":1}{"again":true}`), wire.CodeMalformed},
+		{"unknown_version", &wire.SolveRequest{V: wire.Version + 7, BudgetJ: 1}, wire.CodeUnknownVersion},
+		{"missing_version", []byte(`{"budget_j":1}`), wire.CodeUnknownVersion},
+		{"negative_budget", &wire.SolveRequest{V: wire.Version, BudgetJ: -1}, wire.CodeBudgetNegative},
+		{"unknown_solver", &wire.SolveRequest{V: wire.Version, BudgetJ: 1, Solver: "nope"}, wire.CodeUnknownSolver},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, h, http.MethodPost, "/v1/solve", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body %s", rec.Code, rec.Body)
+			}
+			if got := decodeErrCode(t, rec); got != tc.wantCode {
+				t.Errorf("error code = %q, want %q", got, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestSolveInfeasibleMapsTo422(t *testing.T) {
+	svc := newTestService(t, Config{})
+	rec := do(t, svc.Handler(), http.MethodPost, "/v1/solve",
+		&wire.SolveRequest{V: wire.Version, BudgetJ: 1, Solver: "svc-test-infeasible"})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeInfeasible {
+		t.Errorf("error code = %q, want %q", got, wire.CodeInfeasible)
+	}
+}
+
+func TestBatchSolvePerItemResults(t *testing.T) {
+	svc := newTestService(t, Config{})
+	rec := do(t, svc.Handler(), http.MethodPost, "/v1/batch-solve", &wire.BatchSolveRequest{
+		V: wire.Version,
+		Items: []wire.SolveItem{
+			{BudgetJ: 3},
+			{BudgetJ: -1},
+			{BudgetJ: 8},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp wire.BatchSolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	for _, i := range []int{0, 2} {
+		if resp.Results[i].Solve == nil || resp.Results[i].Error != nil {
+			t.Errorf("item %d: want a solve, got error %+v", i, resp.Results[i].Error)
+		}
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Code != wire.CodeBudgetNegative {
+		t.Errorf("item 1: want %s error, got %+v", wire.CodeBudgetNegative, resp.Results[1])
+	}
+	if got := svc.Stats().BatchItems; got != 3 {
+		t.Errorf("stats batch items = %d, want 3", got)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	svc := newTestService(t, Config{BatteryJ: 50, CapacityJ: 100})
+	h := svc.Handler()
+
+	rec := do(t, h, http.MethodPost, "/v1/report", &wire.ReportRequest{
+		V:       wire.Version,
+		Reports: []wire.DeviceReport{{Device: 0, ConsumedJ: 0.5}, {Device: 15, ConsumedJ: 0.25}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp wire.ReportResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2", resp.Accepted)
+	}
+
+	rec = do(t, h, http.MethodPost, "/v1/report", &wire.ReportRequest{
+		V:       wire.Version,
+		Reports: []wire.DeviceReport{{Device: 16, ConsumedJ: 0.1}},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range device: status = %d, want 400", rec.Code)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeUnknownDevice {
+		t.Errorf("error code = %q, want %q", got, wire.CodeUnknownDevice)
+	}
+}
+
+func TestTelemetryStream(t *testing.T) {
+	svc := newTestService(t, Config{BatteryJ: 20, CapacityJ: 100})
+	h := svc.Handler()
+
+	harvest := 2.0
+	consumed := 0.05
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	events := []wire.TelemetryEvent{
+		{V: wire.Version, Device: 1, HarvestJ: &harvest},
+		{V: wire.Version, Device: 2, ConsumedJ: &consumed, HarvestJ: &harvest},
+	}
+	for _, ev := range events {
+		if err := enc.Encode(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteString(`{"v":1,"device":3,"bogus":true}` + "\n") // malformed, stream must continue
+	badDev := wire.TelemetryEvent{V: wire.Version, Device: 99, HarvestJ: &harvest}
+	if err := enc.Encode(&badDev); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := do(t, h, http.MethodPost, "/v1/telemetry", buf.Bytes())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var results []wire.TelemetryResult
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var res wire.TelemetryResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("decoding result line %q: %v", sc.Text(), err)
+		}
+		results = append(results, res)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d result lines, want 4: %+v", len(results), results)
+	}
+	for i := range 2 {
+		if results[i].Error != nil || results[i].Allocation == nil {
+			t.Errorf("event %d: want allocation, got %+v", i, results[i])
+		}
+	}
+	if results[2].Error == nil || results[2].Error.Code != wire.CodeMalformed {
+		t.Errorf("malformed line: got %+v, want %s", results[2], wire.CodeMalformed)
+	}
+	if results[3].Error == nil || results[3].Error.Code != wire.CodeUnknownDevice {
+		t.Errorf("unknown device: got %+v, want %s", results[3], wire.CodeUnknownDevice)
+	}
+	stats := svc.Stats()
+	if stats.Steps != 2 || stats.Reports != 1 {
+		t.Errorf("stats steps/reports = %d/%d, want 2/1", stats.Steps, stats.Reports)
+	}
+}
+
+func TestRateLimitRefusesWithRetryAfter(t *testing.T) {
+	svc := newTestService(t, Config{RatePerSec: 1, Burst: 2})
+	h := svc.Handler()
+
+	for i := range 2 {
+		rec := do(t, h, http.MethodPost, "/v1/solve", &wire.SolveRequest{V: wire.Version, BudgetJ: 1})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d within burst: status = %d, body %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := do(t, h, http.MethodPost, "/v1/solve", &wire.SolveRequest{V: wire.Version, BudgetJ: 1})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over burst: status = %d, want 429; body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeRateLimited {
+		t.Errorf("error code = %q, want %q", got, wire.CodeRateLimited)
+	}
+	secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a whole number of seconds ≥ 1", rec.Header().Get("Retry-After"))
+	}
+	if got := svc.Stats().RateLimited; got != 1 {
+		t.Errorf("stats rate limited = %d, want 1", got)
+	}
+
+	// Tenants are isolated: a fresh tenant has its own bucket.
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve",
+		bytes.NewReader(mustMarshal(t, &wire.SolveRequest{V: wire.Version, BudgetJ: 1})))
+	req.Header.Set("X-Tenant", "other")
+	other := httptest.NewRecorder()
+	h.ServeHTTP(other, req)
+	if other.Code != http.StatusOK {
+		t.Errorf("fresh tenant: status = %d, want 200", other.Code)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestBatchChargesPerItem(t *testing.T) {
+	svc := newTestService(t, Config{RatePerSec: 1, Burst: 4})
+	h := svc.Handler()
+
+	batch := func(n int) *httptest.ResponseRecorder {
+		items := make([]wire.SolveItem, n)
+		for i := range items {
+			items[i].BudgetJ = 1
+		}
+		return do(t, h, http.MethodPost, "/v1/batch-solve", &wire.BatchSolveRequest{V: wire.Version, Items: items})
+	}
+	if rec := batch(4); rec.Code != http.StatusOK {
+		t.Fatalf("batch within burst: status = %d, body %s", rec.Code, rec.Body)
+	}
+	if rec := batch(2); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("batch over burst: status = %d, want 429", rec.Code)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	svc := newTestService(t, Config{})
+	h := svc.Handler()
+	svc.Drain()
+
+	rec := do(t, h, http.MethodPost, "/v1/solve", &wire.SolveRequest{V: wire.Version, BudgetJ: 1})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("solve while draining: status = %d, want 503", rec.Code)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeDraining {
+		t.Errorf("error code = %q, want %q", got, wire.CodeDraining)
+	}
+	if rec := do(t, h, http.MethodGet, "/healthz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status = %d, want 503", rec.Code)
+	}
+	if !svc.Stats().Draining {
+		t.Error("stats draining = false after Drain")
+	}
+}
+
+// TestServerDrainWaitsForInFlight pins the SIGTERM semantics end to end
+// over a real listener: a request already past admission completes with
+// 200 while Drain is underway, Drain returns only after it finishes,
+// and the listener is closed afterwards.
+func TestServerDrainWaitsForInFlight(t *testing.T) {
+	svc := newTestService(t, Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	svc.testHookSolve = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	srv := NewServer(svc, "127.0.0.1:0")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	type result struct {
+		status int
+		err    error
+	}
+	clientDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+srv.Addr()+"/v1/solve", "application/json",
+			bytes.NewReader(mustMarshal(t, &wire.SolveRequest{V: wire.Version, BudgetJ: 2})))
+		if err != nil {
+			clientDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		clientDone <- result{status: resp.StatusCode}
+	}()
+
+	<-entered // the request is in flight, holding inside the handler
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- srv.Drain(ctx)
+	}()
+
+	// Drain must not complete while the request is held.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if res := <-clientDone; res.err != nil || res.status != http.StatusOK {
+		t.Fatalf("in-flight request: status %d, err %v; want 200", res.status, res.err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve after drain: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("listener still accepting connections after drain")
+	}
+}
+
+// lineWriter is a ResponseWriter that hands each written NDJSON line to
+// the test as it is produced — the handler-level stand-in for a
+// streaming client. (Go's HTTP/1 transport cannot read a response while
+// the request body is still open, so the mid-stream drain exchange is
+// driven against the handler directly; the per-event flush behaviour
+// over a real socket is what the reapload smoke run exercises.)
+type lineWriter struct {
+	header http.Header
+	buf    bytes.Buffer
+	lines  chan string
+}
+
+func newLineWriter() *lineWriter {
+	return &lineWriter{header: make(http.Header), lines: make(chan string, 16)}
+}
+
+func (w *lineWriter) Header() http.Header { return w.header }
+func (w *lineWriter) WriteHeader(int)     {}
+func (w *lineWriter) Flush()              {}
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	for {
+		raw := w.buf.Bytes()
+		i := bytes.IndexByte(raw, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		w.lines <- string(raw[:i])
+		w.buf.Next(i + 1)
+	}
+}
+
+// TestTelemetryDrainFinishesCurrentEvent drains mid-stream and checks
+// the contract: the event in flight is answered, then the handler
+// closes the stream instead of abandoning the client or processing a
+// backlog.
+func TestTelemetryDrainFinishesCurrentEvent(t *testing.T) {
+	svc := newTestService(t, Config{BatteryJ: 20, CapacityJ: 100})
+	h := svc.Handler()
+
+	pr, pw := io.Pipe()
+	w := newLineWriter()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/telemetry", pr))
+	}()
+
+	harvest := 1.5
+	send := func(device int) {
+		raw := mustMarshal(t, &wire.TelemetryEvent{V: wire.Version, Device: device, HarvestJ: &harvest})
+		if _, err := pw.Write(append(raw, '\n')); err != nil {
+			t.Fatalf("writing event: %v", err)
+		}
+	}
+	readResult := func() wire.TelemetryResult {
+		select {
+		case line := <-w.lines:
+			var res wire.TelemetryResult
+			if err := json.Unmarshal([]byte(line), &res); err != nil {
+				t.Fatalf("decoding %q: %v", line, err)
+			}
+			return res
+		case <-time.After(10 * time.Second):
+			t.Fatal("no result line")
+			panic("unreachable")
+		}
+	}
+
+	send(0)
+	if res := readResult(); res.Error != nil || res.Allocation == nil {
+		t.Fatalf("pre-drain event: %+v", res)
+	}
+
+	svc.Drain()
+
+	// The next event was already accepted by the open stream: it must be
+	// answered, after which the handler returns even though the request
+	// body is still open — the "finish current event, then close"
+	// contract SIGTERM relies on.
+	send(1)
+	if res := readResult(); res.Error != nil || res.Allocation == nil {
+		t.Fatalf("in-flight event during drain: %+v", res)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler kept the stream open after drain")
+	}
+	pw.Close()
+
+	// A fresh stream against the draining service is refused outright.
+	rec := do(t, h, http.MethodPost, "/v1/telemetry", []byte(""))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("new stream while draining: status = %d, want 503", rec.Code)
+	}
+}
+
+func TestStatsDistinguishesNoCacheFromColdCache(t *testing.T) {
+	planDirect := newTestService(t, Config{})
+	if got := planDirect.Stats().Cache; got != nil {
+		t.Errorf("plan-direct service reports cache stats %+v, want nil", got)
+	}
+
+	cached := newTestService(t, Config{CacheSize: 64, CacheResolutionJ: 0.001})
+	stats := cached.Stats().Cache
+	if stats == nil {
+		t.Fatal("cached service reports nil cache stats, want cold (zero) stats")
+	}
+	if stats.Capacity != 64 || stats.Hits != 0 {
+		t.Errorf("cold cache stats = %+v, want capacity 64 and zero hits", stats)
+	}
+}
+
+func TestShardForCoversFleet(t *testing.T) {
+	svc := newTestService(t, Config{Devices: 10, Shards: 3})
+	for device := 0; device < 10; device++ {
+		sh, err := svc.shardFor(device)
+		if err != nil {
+			t.Fatalf("device %d: %v", device, err)
+		}
+		local := device - sh.lo
+		if _, err := sh.fleet.Device(local); err != nil {
+			t.Errorf("device %d maps to shard-local %d: %v", device, local, err)
+		}
+	}
+	for _, device := range []int{-1, 10, 1 << 20} {
+		if _, err := svc.shardFor(device); err == nil {
+			t.Errorf("device %d: want unknown-device error", device)
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Devices: 0}); err == nil {
+		t.Error("Devices=0: want error")
+	}
+	if _, err := New(Config{Devices: -3}); err == nil {
+		t.Error("negative devices: want error")
+	}
+	if _, err := New(Config{Devices: 4, Solver: "no-such-backend"}); err == nil {
+		t.Error("unknown solver: want error")
+	}
+}

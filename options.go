@@ -23,11 +23,9 @@ type settings struct {
 	capacityJ  float64
 	workers    int
 
-	// solveCache is the shared solve cache, nil for uncached solving.
-	// cacheSet records that the caller chose explicitly (including
-	// WithoutSolveCache), which suppresses NewFleet's default cache.
+	// solveCache is the shared solve cache, nil (the default) for the
+	// direct compiled-plan path.
 	solveCache *SolveCache
-	cacheSet   bool
 
 	// deviceOverride refines settings per device when NewFleet builds a
 	// heterogeneous fleet; nil means every device is identical.
@@ -164,15 +162,21 @@ func WithBattery(chargeJ, capacityJ float64) Option {
 // near-identical devices share entries (zero resolution keys budgets
 // exactly — bit-identical results, dedup only). New, NewFleet and
 // SolveBatch route every solve through the cache; NewConfig ignores it.
-// NewFleet enables a DefaultCacheSize/DefaultCacheResolution cache even
-// without this option — see WithoutSolveCache for the exact-solve knob.
+//
+// Caching is an explicit opt-in for expensive backends — simplex,
+// enumerate, or future remote solvers — where memoizing an LP solve
+// actually pays. On the default compiled-plan backend a solve is a
+// ~300 ns binary search, cheaper than the cache's own
+// fingerprint+quantize+lookup work, so plan-backed fleets run fastest
+// without this option (the default since the plan-first re-tier; see
+// DESIGN.md).
 func WithSolveCache(size int, resolutionJ float64) Option {
 	return func(s *settings) error {
 		sc, err := NewSolveCache(size, resolutionJ)
 		if err != nil {
 			return err
 		}
-		s.solveCache, s.cacheSet = sc, true
+		s.solveCache = sc
 		return nil
 	}
 }
@@ -185,17 +189,19 @@ func WithSharedSolveCache(sc *SolveCache) Option {
 		if sc == nil {
 			return fmt.Errorf("%w: nil solve cache", ErrInvalidConfig)
 		}
-		s.solveCache, s.cacheSet = sc, true
+		s.solveCache = sc
 		return nil
 	}
 }
 
-// WithoutSolveCache disables solve caching — the exact-solve fallback
-// for callers that need every budget solved bit-identically to the
-// uncached path (NewFleet otherwise caches by default).
+// WithoutSolveCache disables solve caching, overriding any earlier
+// WithSolveCache/WithSharedSolveCache in the option list. Uncached
+// solving has been the default since the plan-first re-tier, so with no
+// cache option in play this is a no-op; it remains the explicit
+// spelling for device overrides and option lists built by composition.
 func WithoutSolveCache() Option {
 	return func(s *settings) error {
-		s.solveCache, s.cacheSet = nil, true
+		s.solveCache = nil
 		return nil
 	}
 }

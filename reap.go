@@ -23,10 +23,15 @@
 //     configurations from functional options (WithDesignPoints,
 //     WithAlpha, WithPeriod, WithSolver, WithBattery, ...).
 //   - Fleet layer: Fleet steps many per-device sessions on a bounded
-//     worker pool; SolveBatch is its stateless counterpart. Fleets share
-//     a solve cache (SolveCache) that quantizes budgets so near-identical
-//     devices reuse one LP solution, with singleflight dedup for
-//     concurrent misses.
+//     worker pool; SolveBatch is its stateless counterpart. Devices
+//     solve directly on a shared compiled plan by default; a solve
+//     cache (SolveCache, opt-in via WithSolveCache) quantizes budgets
+//     so near-identical devices reuse one LP solution on expensive
+//     backends, with singleflight dedup for concurrent misses.
+//   - Wire layer: package wire defines the versioned request/response
+//     structs of the reapd network service (cmd/reapd), shared verbatim
+//     by clients; internal/service hosts the sharded daemon behind
+//     them.
 //
 // # Quick start
 //
@@ -51,14 +56,15 @@
 //
 // # Fleets
 //
-// Fleet coordinates many devices from one process. By default it shares
-// one solve cache across all devices — budgets quantize down to 1 mJ so
-// devices under near-identical harvesting conditions reuse one LP
-// solution (WithoutSolveCache restores exact per-device solving):
+// Fleet coordinates many devices from one process. By default every
+// device solves on the fingerprint-memoized compiled plan — the
+// fastest path. Fleets on expensive backends opt into a shared solve
+// cache (WithSolveCache): budgets quantize down so devices under
+// near-identical harvesting conditions reuse one LP solution:
 //
 //	fleet, _ := reap.NewFleet(1000, reap.WithBattery(20, 100))
-//	allocs, _ := fleet.StepAll(ctx, budgets) // budgets[i] for device i
-//	stats, _ := fleet.CacheStats()           // hits, misses, coalesced
+//	allocs, _ := fleet.StepAll(ctx, budgets)  // budgets[i] for device i
+//	stats, ok := fleet.CacheStats()           // ok only when caching is on
 //
 // # Beyond the optimizer
 //

@@ -416,7 +416,9 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		}
 		opts = append(opts, reap.WithSolveCache(sc.CacheSize, res))
 	} else {
-		// NewFleet caches by default; uncached scenarios must say so.
+		// Uncached solving is NewFleet's default since the plan-first
+		// re-tier; saying so explicitly keeps scenario semantics pinned
+		// to the scenario definition rather than the library default.
 		opts = append(opts, reap.WithoutSolveCache())
 	}
 	if sc.PerDevice != nil {

@@ -10,11 +10,15 @@ import (
 	"repro/internal/core"
 )
 
-// Defaults for the fleet solve cache (see NewFleet): room for sixteen
-// thousand distinct (config, budget) entries and a 1 mJ budget
+// Recommended sizing for an opted-in fleet solve cache
+// (WithSolveCache(DefaultCacheSize, DefaultCacheResolution)): room for
+// sixteen thousand distinct (config, budget) entries and a 1 mJ budget
 // resolution — fine enough that the worst-case objective loss for the
 // paper's configuration is below 2·10⁻⁴, coarse enough that devices in
-// the same harvesting conditions share entries.
+// the same harvesting conditions share entries. Since the plan-first
+// re-tier NewFleet no longer installs this cache by default: the
+// compiled-plan solve is cheaper than a cache lookup, so caching pays
+// only on expensive backends (simplex, remote solvers).
 const (
 	DefaultCacheSize       = 1 << 14
 	DefaultCacheResolution = 1e-3

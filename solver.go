@@ -74,9 +74,15 @@ func init() {
 // configurations, additional configs compile per solve instead of
 // growing the map (adversarial workloads stay bounded; real fleets use
 // a handful of configurations).
+//
+// The memo is a copy-on-write map behind an atomic.Pointer: this is the
+// default solve path of every fleet since the plan-first re-tier, so
+// the hit path must be a lock-free load — misses (compilation, a
+// once-per-configuration event) take a mutex, copy the map and publish
+// the extended copy.
 type planBackend struct {
-	plans sync.Map // Config.Fingerprint() → *core.Plan
-	count atomic.Int64
+	plans atomic.Pointer[map[uint64]*core.Plan]
+	mu    sync.Mutex // serializes copy-on-write publication on miss
 }
 
 const planBackendMaxPlans = 4096
@@ -85,20 +91,38 @@ const planBackendMaxPlans = 4096
 // first sight.
 func (pb *planBackend) planFor(cfg Config) (*core.Plan, error) {
 	fp := cfg.Fingerprint()
-	if v, ok := pb.plans.Load(fp); ok {
-		return v.(*core.Plan), nil
+	if m := pb.plans.Load(); m != nil {
+		if p, ok := (*m)[fp]; ok {
+			return p, nil
+		}
 	}
 	p, err := core.NewPlan(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if pb.count.Load() >= planBackendMaxPlans {
-		return p, nil
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	old := pb.plans.Load()
+	if old != nil {
+		// Re-check under the lock: a concurrent miss may have published
+		// this fingerprint while we compiled. Returning the published
+		// plan keeps every caller of one configuration on one *Plan.
+		if prev, ok := (*old)[fp]; ok {
+			return prev, nil
+		}
+		if len(*old) >= planBackendMaxPlans {
+			return p, nil
+		}
 	}
-	if v, loaded := pb.plans.LoadOrStore(fp, p); loaded {
-		return v.(*core.Plan), nil
+	next := make(map[uint64]*core.Plan, 1)
+	if old != nil {
+		next = make(map[uint64]*core.Plan, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
 	}
-	pb.count.Add(1)
+	next[fp] = p
+	pb.plans.Store(&next)
 	return p, nil
 }
 
