@@ -9,6 +9,9 @@
 //	      [-battery 0] [-capacity 0] [-solver plan]
 //	      [-cache 0] [-cacheres 0.001]
 //	      [-rate 0] [-burst 0] [-drain-timeout 30s]
+//	      [-journal DIR] [-fsync interval] [-fsync-interval 100ms]
+//	      [-snapshot-every 4096] [-quarantine-after 0]
+//	      [-max-inflight 0] [-default-deadline 0] [-max-deadline 0]
 //
 // Endpoints:
 //
@@ -16,14 +19,29 @@
 //	POST /v1/batch-solve  many independent allocations in one round trip
 //	POST /v1/report       measured consumption for owned devices
 //	POST /v1/telemetry    NDJSON stream: harvest in, allocation out
-//	GET  /v1/stats        counters, shard layout, cache stats (if opted in)
-//	GET  /healthz         liveness (503 while draining)
+//	POST /v1/alpha        re-weight one device's accuracy-time objective
+//	GET  /v1/stats        counters, shard layout, cache and journal stats
+//	GET  /healthz         liveness (JSON body; 503 while draining)
 //
 // -rate enables per-tenant admission control (tenant = X-Tenant header):
 // each tenant gets -rate solves/second with bursts of -burst, excess is
 // answered 429 with Retry-After. SIGTERM/SIGINT drains gracefully:
 // listeners stop accepting, in-flight solves and telemetry events
 // finish, bounded by -drain-timeout.
+//
+// -journal makes the fleet crash-safe: every acknowledged mutation is
+// appended to a write-ahead log in DIR before its response goes out,
+// and boot replays the newest snapshot plus the logged tail, so a crash
+// — even kill -9 — loses nothing that was acknowledged. -fsync picks
+// the disk-flush policy (always | interval | never; all three survive
+// process death, the policy bounds power-loss exposure). See DESIGN.md
+// "Failure model".
+//
+// -max-inflight sheds excess load with 503 + Retry-After before any
+// work is done; -default-deadline/-max-deadline bound per-request solve
+// time, with clients lowering (never raising) their own deadline via
+// the X-Deadline-Ms header; -quarantine-after N fences a shard off with
+// 503s after N panics inside its critical sections.
 package main
 
 import (
@@ -34,6 +52,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/resilience"
 	"repro/internal/service"
 )
 
@@ -52,6 +71,14 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-tenant admitted solves/second (0 = unlimited)")
 	burst := flag.Int("burst", 0, "admission burst (0 = max(rate, 1))")
 	drainTimeout := flag.Duration("drain-timeout", 30e9, "grace period for in-flight work on SIGTERM")
+	journalDir := flag.String("journal", "", "journal directory for crash-safe fleet state (empty = off)")
+	fsync := flag.String("fsync", service.FsyncInterval, "journal fsync policy: always | interval | never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "flush cadence under -fsync interval (0 = 100ms)")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "compact a snapshot every N journal appends (0 = 4096)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "quarantine a shard after N panics (0 = never)")
+	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond N in flight with 503 (0 = unlimited)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "per-request deadline when the client sends none (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client X-Deadline-Ms requests (0 = default-deadline)")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
@@ -64,9 +91,23 @@ func main() {
 		CacheResolutionJ: *cacheRes,
 		RatePerSec:       *rate,
 		Burst:            *burst,
+		JournalDir:       *journalDir,
+		FsyncPolicy:      *fsync,
+		FsyncInterval:    *fsyncInterval,
+		SnapshotEvery:    *snapshotEvery,
+		QuarantineAfter:  *quarantineAfter,
+		MaxInflight:      *maxInflight,
+		Deadline: resilience.DeadlinePolicy{
+			Default: *defaultDeadline,
+			Max:     *maxDeadline,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if js := svc.Stats().Journal; js != nil {
+		log.Printf("journal %s: replayed %d events onto snapshot seq %d (torn tail: %v), fsync %s",
+			*journalDir, js.Replayed, js.SnapshotSeq, js.TornTail, js.FsyncPolicy)
 	}
 	srv := service.NewServer(svc, *addr)
 	if err := srv.Start(); err != nil {

@@ -1,23 +1,40 @@
 // Command reapload is the load generator for reapd: it drives the
-// solve endpoints at full tilt from a pool of keep-alive connections,
-// measures per-request latency, and renders a benchmark document —
-// BENCH_serve.json, the serving-path counterpart of BENCH_solve.json.
+// solve and report endpoints at full tilt from a pool of keep-alive
+// connections, measures per-request latency, and renders a benchmark
+// document — BENCH_serve.json, the serving-path counterpart of
+// BENCH_solve.json.
 //
 // Usage:
 //
 //	reapload [-addr 127.0.0.1:8080] [-duration 10s] [-conns 4]
-//	         [-batch 64] [-solver ""] [-tenant bench]
+//	         [-batch 64] [-mode solve] [-devices 1024]
+//	         [-solver ""] [-tenant bench]
+//	         [-chaos 0] [-chaos-seed 1]
 //	         [-out BENCH_serve.json] [-max-p99 0]
 //
-// With -batch 1 every request is a POST /v1/solve; larger batches go
-// through /v1/batch-solve with that many items per request (one item =
-// one solve, the unit the rate limiter charges and the solves/sec
-// figure counts). Budgets cycle through a fixed spread covering every
-// operating region of the paper's configuration, so the server sees
-// realistic key diversity rather than one hot budget.
+// With -mode solve and -batch 1 every request is a POST /v1/solve;
+// larger batches go through /v1/batch-solve with that many items per
+// request (one item = one solve, the unit the rate limiter charges and
+// the solves/sec figure counts). -mode report posts -batch consumption
+// reports per request for devices cycling through [0, -devices); -mode
+// mixed alternates the two per worker. Budgets cycle through a fixed
+// spread covering every operating region of the paper's configuration,
+// so the server sees realistic key diversity rather than one hot
+// budget.
+//
+// Back-pressure is honored, not fought: a 429 or 503 counts as shed
+// (reported separately from errors, never in the latency population)
+// and the worker backs off for the server's Retry-After or a capped
+// exponential delay with jitter, whichever is longer. -chaos P tears
+// connections on purpose: with probability P a worker writes a partial
+// HTTP request over a raw socket and slams it shut — the client half of
+// the fault-injection harness, for proving the daemon (and its journal)
+// shrugs off vanishing clients. Torn connections are counted and
+// excluded from latency.
 //
 // -max-p99 makes reapload an assertion: if the measured p99 per-request
-// latency exceeds it, the run exits 1 — the CI serve-smoke job's gate.
+// latency exceeds it, the run exits 1 — the CI serve-smoke and
+// chaos-smoke jobs' gate.
 package main
 
 import (
@@ -27,9 +44,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -39,17 +59,24 @@ import (
 type stats struct {
 	requests  int
 	solves    int
+	reports   int
+	shed      int
+	torn      int
 	errors    int
 	latencies []time.Duration
 }
 
 type document struct {
 	Addr       string  `json:"addr"`
+	Mode       string  `json:"mode"`
 	Batch      int     `json:"batch"`
 	Conns      int     `json:"conns"`
 	DurationS  float64 `json:"duration_s"`
 	Requests   int     `json:"requests"`
 	Solves     int     `json:"solves"`
+	Reports    int     `json:"reports,omitempty"`
+	Shed       int     `json:"shed"`
+	Torn       int     `json:"torn,omitempty"`
 	Errors     int     `json:"errors"`
 	SolvesPerS float64 `json:"solves_per_sec"`
 	Latency    latency `json:"request_latency_us"`
@@ -64,6 +91,25 @@ type latency struct {
 	Max  float64 `json:"max"`
 }
 
+// payload is one pre-encoded request body and where to send it.
+type payload struct {
+	path    string
+	body    []byte
+	solves  int
+	reports int
+}
+
+// Backoff bounds for shed requests: exponential from min to max, and
+// the server's Retry-After honored up to honorCap so a load test
+// cannot be stalled indefinitely by a long Retry-After.
+const (
+	backoffMin  = 20 * time.Millisecond
+	backoffMax  = time.Second
+	honorCap    = 2 * time.Second
+	jitterFrac  = 0.25
+	tearTimeout = time.Second
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reapload: ")
@@ -71,28 +117,34 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "reapd address (host:port)")
 	duration := flag.Duration("duration", 10*time.Second, "measurement window")
 	conns := flag.Int("conns", 4, "concurrent connections")
-	batch := flag.Int("batch", 64, "solves per request (1 = /v1/solve singles)")
+	batch := flag.Int("batch", 64, "solves or reports per request (1 = /v1/solve singles)")
+	mode := flag.String("mode", "solve", "traffic mix: solve | report | mixed")
+	devices := flag.Int("devices", 1024, "device id space for -mode report/mixed")
 	solver := flag.String("solver", "", "solver backend to request (default: server default)")
 	tenant := flag.String("tenant", "bench", "X-Tenant header value")
+	chaos := flag.Float64("chaos", 0, "probability of tearing a connection mid-request")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for tear decisions and backoff jitter")
 	out := flag.String("out", "", "write the benchmark document to this file (default stdout only)")
 	maxP99 := flag.Duration("max-p99", 0, "fail (exit 1) if request p99 exceeds this (0 = no gate)")
 	flag.Parse()
-	if *batch < 1 || *conns < 1 {
-		log.Fatal("batch and conns must be positive")
+	if *batch < 1 || *conns < 1 || *devices < 1 {
+		log.Fatal("batch, conns and devices must be positive")
+	}
+	if *chaos < 0 || *chaos >= 1 {
+		log.Fatal("chaos must be in [0, 1)")
 	}
 
-	payloads, path := buildPayloads(*batch, *solver)
+	payloads := buildPayloads(*mode, *batch, *devices, *solver)
 	transport := &http.Transport{
 		MaxIdleConns:        *conns * 2,
 		MaxIdleConnsPerHost: *conns * 2,
 	}
 	client := &http.Client{Transport: transport}
-	url := "http://" + *addr + path
 
 	// Warm connections and verify the server speaks our schema before
 	// the measured window.
-	if err := probe(client, url, *tenant, payloads[0]); err != nil {
-		log.Fatalf("probe %s: %v", url, err)
+	if err := probe(client, "http://"+*addr+payloads[0].path, *tenant, payloads[0].body); err != nil {
+		log.Fatalf("probe: %v", err)
 	}
 
 	deadline := time.Now().Add(*duration)
@@ -103,18 +155,8 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := &results[w]
-			for i := 0; time.Now().Before(deadline); i++ {
-				t0 := time.Now()
-				err := post(client, url, *tenant, payloads[(w+i)%len(payloads)])
-				st.latencies = append(st.latencies, time.Since(t0))
-				st.requests++
-				if err != nil {
-					st.errors++
-					continue
-				}
-				st.solves += *batch
-			}
+			drive(&results[w], client, *addr, *tenant, payloads, deadline,
+				*chaos, rand.New(rand.NewSource(*chaosSeed+int64(w))), w)
 		}(w)
 	}
 	wg.Wait()
@@ -124,21 +166,28 @@ func main() {
 	for i := range results {
 		total.requests += results[i].requests
 		total.solves += results[i].solves
+		total.reports += results[i].reports
+		total.shed += results[i].shed
+		total.torn += results[i].torn
 		total.errors += results[i].errors
 		total.latencies = append(total.latencies, results[i].latencies...)
 	}
-	if total.requests == 0 {
+	if len(total.latencies) == 0 {
 		log.Fatal("no requests completed")
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 
 	doc := document{
 		Addr:       *addr,
+		Mode:       *mode,
 		Batch:      *batch,
 		Conns:      *conns,
 		DurationS:  elapsed.Seconds(),
 		Requests:   total.requests,
 		Solves:     total.solves,
+		Reports:    total.reports,
+		Shed:       total.shed,
+		Torn:       total.torn,
 		Errors:     total.errors,
 		SolvesPerS: float64(total.solves) / elapsed.Seconds(),
 		Latency: latency{
@@ -166,61 +215,157 @@ func main() {
 	}
 }
 
-// buildPayloads pre-encodes a cycle of request bodies whose budgets
+// drive is one worker's load loop: post payloads until the deadline,
+// honoring back-pressure and injecting client-side tears.
+func drive(st *stats, client *http.Client, addr, tenant string, payloads []payload,
+	deadline time.Time, chaosP float64, rng *rand.Rand, w int) {
+	backoff := backoffMin
+	for i := 0; time.Now().Before(deadline); i++ {
+		p := payloads[(w+i)%len(payloads)]
+		if chaosP > 0 && rng.Float64() < chaosP {
+			tear(addr, p, rng)
+			st.torn++
+			continue
+		}
+		t0 := time.Now()
+		status, retryAfter, err := post(client, "http://"+addr+p.path, tenant, p.body)
+		switch {
+		case err != nil:
+			st.requests++
+			st.errors++
+		case status == http.StatusOK:
+			st.requests++
+			st.latencies = append(st.latencies, time.Since(t0))
+			st.solves += p.solves
+			st.reports += p.reports
+			backoff = backoffMin
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			// Shed, not failed: the server asked us to slow down.
+			st.requests++
+			st.shed++
+			sleepFor := withJitter(backoff, rng)
+			if retryAfter > sleepFor {
+				sleepFor = min(retryAfter, honorCap)
+			}
+			time.Sleep(sleepFor)
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+		default:
+			st.requests++
+			st.errors++
+		}
+	}
+}
+
+// withJitter spreads d by ±jitterFrac so backed-off workers do not
+// stampede back in lockstep.
+func withJitter(d time.Duration, rng *rand.Rand) time.Duration {
+	spread := 1 + jitterFrac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * spread)
+}
+
+// tear opens a raw connection, writes a deliberately incomplete HTTP
+// request — at least the request line, never the full body — and slams
+// the socket shut: the client half of the chaos harness.
+func tear(addr string, p payload, rng *rand.Rand) {
+	conn, err := net.DialTimeout("tcp", addr, tearTimeout)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	raw := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		p.path, addr, len(p.body), p.body)
+	cut := len(raw) - 1 - rng.Intn(len(p.body)+len(raw)/2)
+	if cut < len("POST / HTTP/1.1\r\n") {
+		cut = len("POST / HTTP/1.1\r\n")
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(tearTimeout))
+	_, _ = io.WriteString(conn, raw[:cut])
+}
+
+// buildPayloads pre-encodes a cycle of request bodies. Solve budgets
 // sweep the dead region through saturation (0–11 J for the paper's
-// configuration), so consecutive requests exercise distinct solves.
-func buildPayloads(batch int, solver string) (payloads [][]byte, path string) {
+// configuration) so consecutive requests exercise distinct solves;
+// report batches walk the device space in sorted runs, the shape a
+// fleet gateway produces.
+func buildPayloads(mode string, batch, devices int, solver string) []payload {
 	budget := func(i int) float64 { return 11.0 * float64(i%97) / 97 }
 	const variants = 16
+	var solves, reports []payload
 	for v := 0; v < variants; v++ {
-		var body any
 		if batch == 1 {
-			body = &wire.SolveRequest{V: wire.Version, BudgetJ: budget(v), Solver: solver}
-			path = "/v1/solve"
+			solves = append(solves, payload{path: "/v1/solve", solves: 1,
+				body: mustEncode(&wire.SolveRequest{V: wire.Version, BudgetJ: budget(v), Solver: solver})})
 		} else {
 			items := make([]wire.SolveItem, batch)
 			for i := range items {
 				items[i] = wire.SolveItem{BudgetJ: budget(v*batch + i), Solver: solver}
 			}
-			body = &wire.BatchSolveRequest{V: wire.Version, Items: items}
-			path = "/v1/batch-solve"
+			solves = append(solves, payload{path: "/v1/batch-solve", solves: batch,
+				body: mustEncode(&wire.BatchSolveRequest{V: wire.Version, Items: items})})
 		}
-		raw, err := json.Marshal(body)
-		if err != nil {
-			log.Fatal(err)
+		reps := make([]wire.DeviceReport, batch)
+		for i := range reps {
+			reps[i] = wire.DeviceReport{Device: (v*batch + i*7) % devices, ConsumedJ: 1e-6}
 		}
-		payloads = append(payloads, raw)
+		sort.Slice(reps, func(i, j int) bool { return reps[i].Device < reps[j].Device })
+		reports = append(reports, payload{path: "/v1/report", reports: batch,
+			body: mustEncode(&wire.ReportRequest{V: wire.Version, Reports: reps})})
 	}
-	return payloads, path
+	switch mode {
+	case "solve":
+		return solves
+	case "report":
+		return reports
+	case "mixed":
+		var mixed []payload
+		for i := range solves {
+			mixed = append(mixed, solves[i], reports[i])
+		}
+		return mixed
+	default:
+		log.Fatalf("unknown -mode %q (solve | report | mixed)", mode)
+		return nil
+	}
 }
 
-func post(client *http.Client, url, tenant string, payload []byte) error {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+func mustEncode(v any) []byte {
+	raw, err := json.Marshal(v)
 	if err != nil {
-		return err
+		log.Fatal(err)
+	}
+	return raw
+}
+
+// post sends one request and reports its status plus any Retry-After
+// hint. The body is drained so the connection is reusable; payloads are
+// not parsed on the hot path — correctness is the service tests' job,
+// throughput is ours.
+func post(client *http.Client, url, tenant string, body []byte) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Tenant", tenant)
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	// Drain so the connection is reusable; the payload is not parsed on
-	// the hot path — correctness is the service tests' job, throughput
-	// is ours.
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
 	}
-	return nil
+	return resp.StatusCode, retryAfter, nil
 }
 
 // probe sends one request outside the measured window and surfaces its
 // body on failure, so a misconfigured run dies with the server's error
 // instead of a thousand status-4xx counts.
-func probe(client *http.Client, url, tenant string, payload []byte) error {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+func probe(client *http.Client, url, tenant string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -231,9 +376,9 @@ func probe(client *http.Client, url, tenant string, payload []byte) error {
 		return err
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(raw))
 	}
 	return nil
 }

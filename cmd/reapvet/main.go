@@ -11,6 +11,9 @@
 //	floatcmp     no raw == / != on floats outside internal/fpx
 //	nodeprecated no new callers of Deprecated: symbols — the root
 //	             package's compatibility wrappers stay caller-free
+//	recoverboundary
+//	             no bare go statements in internal/service — daemon
+//	             goroutines start via resilience.Go recover boundaries
 //
 // Usage:
 //
@@ -37,6 +40,7 @@ import (
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/nodeprecated"
+	"repro/internal/analysis/recoverboundary"
 )
 
 var suite = []*analysis.Analyzer{
@@ -45,6 +49,7 @@ var suite = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	floatcmp.Analyzer,
 	nodeprecated.Analyzer,
+	recoverboundary.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,53 @@
+// Package recoverboundary enforces the service's panic-containment
+// invariant: every goroutine launched inside repro/internal/service
+// starts behind a recover boundary.
+//
+// A panic on a request goroutine is caught by the service's recover
+// middleware; a panic on a goroutine the service spawned itself is
+// caught by nothing and kills the daemon — exactly the failure the
+// crash-safety work exists to prevent. resilience.Go wraps the spawn in
+// the recover-and-count boundary, so the rule is mechanical: no bare go
+// statements in the service package, ever. Other packages are out of
+// scope — libraries below the service don't spawn daemon goroutines,
+// and binaries own their own lifecycles.
+package recoverboundary
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer forbids bare go statements in repro/internal/service.
+var Analyzer = &analysis.Analyzer{
+	Name: "recoverboundary",
+	Doc: "forbid bare go statements in internal/service: service goroutines " +
+		"must start via resilience.Go so a panic is recovered and counted",
+	Run: run,
+}
+
+// inScope reports whether the package must launch goroutines behind a
+// recover boundary.
+func inScope(pkgPath string) bool {
+	return pkgPath == "repro/internal/service" ||
+		strings.HasPrefix(pkgPath, "repro/internal/service/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement in internal/service: launch goroutines with "+
+						"resilience.Go(name, onPanic, fn) so a panic hits a recover boundary "+
+						"instead of killing the daemon")
+			}
+			return true
+		})
+	}
+	return nil
+}

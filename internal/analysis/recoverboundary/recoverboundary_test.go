@@ -1,0 +1,18 @@
+package recoverboundary_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/recoverboundary"
+)
+
+func TestRecoverBoundaryService(t *testing.T) {
+	analysistest.Run(t, recoverboundary.Analyzer, "testdata/service", "repro/internal/service")
+}
+
+// TestRecoverBoundaryElsewhere checks the scope: bare go statements
+// outside internal/service are some other reviewer's problem.
+func TestRecoverBoundaryElsewhere(t *testing.T) {
+	analysistest.Run(t, recoverboundary.Analyzer, "testdata/other", "repro/internal/eval")
+}

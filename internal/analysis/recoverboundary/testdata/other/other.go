@@ -1,0 +1,8 @@
+// Fixture loaded as a non-service package: bare go statements are out
+// of the recoverboundary analyzer's scope.
+package eval
+
+// Spawn is legal here — only internal/service owns daemon goroutines.
+func Spawn(work func()) {
+	go work()
+}

@@ -1,0 +1,24 @@
+// Fixture loaded as repro/internal/service: every goroutine must start
+// behind the resilience recover boundary.
+package service
+
+import "repro/internal/resilience"
+
+func countPanic(string, any) {}
+
+// Maintain launches its loop the sanctioned way: clean.
+func Maintain(work func()) {
+	resilience.Go("maintenance", countPanic, work)
+}
+
+// Leak spawns a goroutine no recover boundary protects.
+func Leak(work func()) {
+	go work() // want `bare go statement in internal/service`
+}
+
+// Nested go statements are just as fatal to the daemon.
+func LeakNested(work func()) {
+	resilience.Go("outer", countPanic, func() {
+		go work() // want `bare go statement in internal/service`
+	})
+}

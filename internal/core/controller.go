@@ -213,6 +213,56 @@ func (ct *Controller) Report(consumed float64) error {
 	return nil
 }
 
+// ControllerState is the serializable mutable state of a Controller —
+// everything Step and Report accumulate, plus the one configuration
+// field that changes at runtime (alpha, via SetAlpha). It exists for
+// crash-safe serving: reapd's journal snapshots capture it and Restore
+// reconstructs a controller mid-history without replaying from boot.
+type ControllerState struct {
+	BatteryJ     float64 `json:"battery_j"`
+	CarryJ       float64 `json:"carry_j"`
+	LastPlannedJ float64 `json:"last_planned_j"`
+	LastBudgetJ  float64 `json:"last_budget_j"`
+	Steps        int     `json:"steps"`
+	Alpha        float64 `json:"alpha"`
+}
+
+// State snapshots the controller's mutable state.
+func (ct *Controller) State() ControllerState {
+	return ControllerState{
+		BatteryJ:     ct.battery,
+		CarryJ:       ct.carry,
+		LastPlannedJ: ct.lastPlanned,
+		LastBudgetJ:  ct.lastBudget,
+		Steps:        ct.steps,
+		Alpha:        ct.cfg.Alpha,
+	}
+}
+
+// Restore overwrites the controller's mutable state with a snapshot
+// taken by State on a controller with the same configuration and
+// battery capacity. An alpha differing from the current configuration
+// re-runs SetAlpha (recompiling a configured plan); invalid values are
+// rejected without committing anything.
+func (ct *Controller) Restore(st ControllerState) error {
+	if st.BatteryJ < 0 || st.BatteryJ > ct.capacityJ+1e-9 ||
+		math.IsNaN(st.BatteryJ) || math.IsNaN(st.CarryJ) ||
+		math.IsNaN(st.LastPlannedJ) || math.IsNaN(st.LastBudgetJ) || st.Steps < 0 {
+		return fmt.Errorf("%w: controller state %+v", ErrInvalidConfig, st)
+	}
+	if !(st.Alpha == ct.cfg.Alpha) { //lint:reapvet floatcmp -- exact: only an explicit SetAlpha changes it
+		if err := ct.SetAlpha(st.Alpha); err != nil {
+			return err
+		}
+	}
+	ct.battery = st.BatteryJ
+	ct.carry = st.CarryJ
+	ct.lastPlanned = st.LastPlannedJ
+	ct.lastBudget = st.LastBudgetJ
+	ct.steps = st.Steps
+	return nil
+}
+
 // settle updates the battery after a period that harvested `in` joules and
 // consumed `out` joules. Net surplus charges the battery up to capacity
 // (overflow is lost — the harvester cannot store it); net deficit drains it.

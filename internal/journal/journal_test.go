@@ -1,0 +1,321 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openStarted opens dir and replays into a slice, failing the test on
+// any error — the common happy-path boot.
+func openStarted(t *testing.T, dir string, opts Options) (*Store, [][]byte) {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var replayed [][]byte
+	if err := st.Start(func(p []byte) error {
+		replayed = append(replayed, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return st, replayed
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, replayed := openStarted(t, dir, Options{})
+	if len(replayed) != 0 {
+		t.Fatalf("fresh dir replayed %d records", len(replayed))
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf(`{"i":%d,"pad":"%s"}`, i, bytes.Repeat([]byte{'x'}, i%7)))
+		want = append(want, p)
+		seq, err := st.Append(p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq = %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, replayed := openStarted(t, dir, Options{})
+	defer st2.Close()
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(replayed), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(replayed[i], want[i]) {
+			t.Fatalf("record %d: got %q, want %q", i, replayed[i], want[i])
+		}
+	}
+	if got := st2.Seq(); got != uint64(len(want)) {
+		t.Errorf("Seq = %d, want %d", got, len(want))
+	}
+}
+
+func TestAbandonSurvivesLikeKillNine(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStarted(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Abandon() // no sync, no close ceremony
+
+	_, replayed := openStarted(t, dir, Options{})
+	if len(replayed) != 10 {
+		t.Fatalf("after abandon: replayed %d records, want 10 — appends must reach the kernel before acking", len(replayed))
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStarted(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := st.Append([]byte{'a', byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact([]byte("state@5")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Append([]byte{'b', byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, seq := st2.Snapshot()
+	if string(snap) != "state@5" || seq != 5 {
+		t.Fatalf("Snapshot = %q@%d, want state@5@5", snap, seq)
+	}
+	var replayed [][]byte
+	if err := st2.Start(func(p []byte) error {
+		replayed = append(replayed, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d post-snapshot records, want 3", len(replayed))
+	}
+	if st2.Seq() != 8 {
+		t.Errorf("Seq = %d, want 8", st2.Seq())
+	}
+	// Old files are gone: exactly one snapshot, one live segment.
+	stats := st2.Stats()
+	if stats.SnapshotSeq != 5 || stats.Replayed != 3 {
+		t.Errorf("stats = %+v, want snapshot_seq 5 replayed 3", stats)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"))
+	if len(segs) != 1 || len(snaps) != 1 {
+		t.Errorf("compaction left %d segments, %d snapshots; want 1 and 1", len(segs), len(snaps))
+	}
+}
+
+func TestRepeatedCompactionAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStarted(t, dir, Options{})
+	total := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 7; i++ {
+			if _, err := st.Append([]byte{byte(round), byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		if err := st.Compact([]byte(fmt.Sprintf("state@%d", total))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tail after the last compaction.
+	for i := 0; i < 2; i++ {
+		if _, err := st.Append([]byte{'t', byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		total++
+	}
+	st.Abandon()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, seq := st2.Snapshot()
+	if string(snap) != "state@28" || seq != 28 {
+		t.Fatalf("Snapshot = %q@%d, want state@28@28", snap, seq)
+	}
+	n := 0
+	if err := st2.Start(func([]byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if n != 2 || st2.Seq() != uint64(total) {
+		t.Errorf("replayed %d, seq %d; want 2 and %d", n, st2.Seq(), total)
+	}
+}
+
+// TestTornTailTruncates pins the crash contract: a segment ending in a
+// half-written record loses exactly that record, and the journal stays
+// appendable afterwards.
+func TestTornTailTruncates(t *testing.T) {
+	for _, cut := range []int{1, 3, 7, 9} { // mid-frame and mid-payload cuts
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			st, _ := openStarted(t, dir, Options{})
+			if _, err := st.Append([]byte("keep-me")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Append([]byte("torn")); err != nil {
+				t.Fatal(err)
+			}
+			st.Abandon()
+
+			seg := onlySegment(t, dir)
+			raw, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			firstEnd := frameSize + len("keep-me")
+			if err := os.WriteFile(seg, raw[:firstEnd+cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, replayed := openStarted(t, dir, Options{})
+			if len(replayed) != 1 || string(replayed[0]) != "keep-me" {
+				t.Fatalf("replayed %q, want just keep-me", replayed)
+			}
+			if !st2.Stats().TornTail {
+				t.Error("stats do not report the torn tail")
+			}
+			// The journal keeps working: append, reopen, both records read.
+			if _, err := st2.Append([]byte("after")); err != nil {
+				t.Fatal(err)
+			}
+			st2.Close()
+			_, replayed = openStarted(t, dir, Options{})
+			if len(replayed) != 2 || string(replayed[1]) != "after" {
+				t.Fatalf("after truncation+append: replayed %q", replayed)
+			}
+		})
+	}
+}
+
+// TestCorruptTailTruncates flips a payload byte of the final record:
+// the checksum must catch it and replay must stop before it.
+func TestCorruptTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStarted(t, dir, Options{})
+	if _, err := st.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]byte("evil")); err != nil {
+		t.Fatal(err)
+	}
+	st.Abandon()
+
+	seg := onlySegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed := openStarted(t, dir, Options{})
+	if len(replayed) != 1 || string(replayed[0]) != "good" {
+		t.Fatalf("replayed %q, want just the intact record", replayed)
+	}
+}
+
+func TestSyncEveryAppendPolicy(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStarted(t, dir, Options{SyncEveryAppend: true})
+	defer st.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := st.Append([]byte{byte(i)}); err != nil {
+			t.Fatalf("Append under SyncEveryAppend: %v", err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatalf("explicit Sync: %v", err)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]byte("x")); err == nil {
+		t.Error("Append before Start: want error")
+	}
+	if err := st.Compact(nil); err == nil {
+		t.Error("Compact before Start: want error")
+	}
+	if err := st.Start(func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(func([]byte) error { return nil }); err == nil {
+		t.Error("second Start: want error")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("double Close: %v, want nil", err)
+	}
+	if _, err := st.Append([]byte("x")); err == nil {
+		t.Error("Append after Close: want error")
+	}
+}
+
+func TestStartAbortsOnReplayError(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openStarted(t, dir, Options{})
+	if _, err := st.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("apply failed")
+	if err := st2.Start(func([]byte) error { return boom }); err == nil {
+		t.Fatal("Start with failing replay: want error")
+	}
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", segs, err)
+	}
+	return segs[0]
+}

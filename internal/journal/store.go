@@ -1,0 +1,460 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncEveryAppend runs fdatasync after every append — the "always"
+	// fsync policy: an acknowledged event survives power loss, at the
+	// cost of a disk flush per mutation. When false, appends still
+	// reach the kernel before returning (surviving kill -9); callers
+	// bound power-loss exposure with periodic Sync calls.
+	SyncEveryAppend bool
+}
+
+// Stats is a snapshot of a Store's counters for observability surfaces.
+type Stats struct {
+	// Seq is the total number of events in history: the loaded
+	// snapshot's base plus every replayed and appended record.
+	Seq uint64 `json:"seq"`
+	// SnapshotSeq is the sequence number of the newest snapshot.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Replayed counts records replayed when the store opened.
+	Replayed uint64 `json:"replayed"`
+	// Appended counts records appended by this process.
+	Appended uint64 `json:"appended"`
+	// TornTail reports whether Start truncated a torn tail.
+	TornTail bool `json:"torn_tail"`
+	// Compactions counts snapshots written by this process.
+	Compactions uint64 `json:"compactions"`
+}
+
+// Store owns one journal directory: the newest snapshot, the log
+// segments that follow it, and the active segment appends go to.
+//
+// Lifecycle: Open scans and validates the directory and loads the
+// newest snapshot into memory; the caller restores its state from
+// Snapshot, then calls Start with a replay function to apply the logged
+// tail; only then may Append, Sync and Compact be used. All methods are
+// safe for concurrent use after Start.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment, nil until Start
+	started  bool
+	closed   bool
+	seq      uint64 // events in history (snapshot base + replayed + appended)
+	segStart uint64 // seq at which the active segment begins
+
+	snapshot []byte
+	snapSeq  uint64
+
+	replayed    uint64
+	appended    uint64
+	torn        bool
+	compactions uint64
+
+	// segments pending replay, discovered by Open, consumed by Start.
+	pending []segmentFile
+}
+
+type segmentFile struct {
+	path  string
+	start uint64
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(seq uint64) string  { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix) }
+func snapName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
+
+// parseSeq extracts the sequence number from a journal file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open scans dir (created if absent), validates and loads the newest
+// readable snapshot, and records which log segments must replay. The
+// returned store is not yet appendable — restore state from Snapshot,
+// then call Start.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	var snaps []segmentFile
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Leftover from a compaction cut short before its atomic
+			// rename; never valid state.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, segmentFile{path: filepath.Join(dir, name), start: seq})
+		}
+		if seq, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			s.pending = append(s.pending, segmentFile{path: filepath.Join(dir, name), start: seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].start > snaps[j].start })
+	sort.Slice(s.pending, func(i, j int) bool { return s.pending[i].start < s.pending[j].start })
+
+	// Newest snapshot that reads back validly wins; an unreadable one
+	// (which the atomic rename should make impossible) falls back to the
+	// previous, whose covering segments are still on disk until cleanup.
+	for _, sn := range snaps {
+		payload, ok := readSnapshot(sn.path)
+		if !ok {
+			continue
+		}
+		s.snapshot = payload
+		s.snapSeq = sn.start
+		break
+	}
+	s.seq = s.snapSeq
+	return s, nil
+}
+
+// readSnapshot loads a snapshot file: exactly one valid record.
+func readSnapshot(path string) ([]byte, bool) {
+	var payload []byte
+	n := 0
+	_, torn, err := scanSegment(path, func(p []byte) error {
+		payload = p
+		n++
+		return nil
+	})
+	if err != nil || torn || n != 1 {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Snapshot returns the newest snapshot payload loaded by Open, or nil
+// when the directory holds none, plus the sequence number it covers.
+func (s *Store) Snapshot() (payload []byte, seq uint64) { return s.snapshot, s.snapSeq }
+
+// Start replays every logged event after the snapshot through fn (in
+// append order), truncates a torn tail in place, and opens the journal
+// for appending. Segments that the snapshot already covers are removed.
+// An error from fn aborts the whole start — a daemon must not serve a
+// fleet it could not reconstruct.
+func (s *Store) Start(fn func(payload []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return errors.New("journal: Start on a started or closed store")
+	}
+
+	expected := s.snapSeq
+	last := -1
+	for i, seg := range s.pending {
+		if seg.start < s.snapSeq {
+			// Fully covered by the snapshot; a crash between a
+			// compaction's rename and its cleanup leaves these behind.
+			_ = os.Remove(seg.path)
+			continue
+		}
+		if seg.start != expected {
+			return fmt.Errorf("journal: missing segment: have %s, expected one starting at %d",
+				filepath.Base(seg.path), expected)
+		}
+		n := uint64(0)
+		validEnd, torn, err := scanSegment(seg.path, func(p []byte) error {
+			n++
+			return fn(p)
+		})
+		if err != nil {
+			return fmt.Errorf("journal: replaying %s: %w", filepath.Base(seg.path), err)
+		}
+		if torn {
+			if i != len(s.pending)-1 {
+				// A torn record mid-history with later segments present
+				// is corruption, not a crash artifact: later events
+				// cannot be trusted without the ones before them.
+				return fmt.Errorf("journal: %s: %w mid-history", filepath.Base(seg.path), ErrTornTail)
+			}
+			if err := os.Truncate(seg.path, validEnd); err != nil {
+				return fmt.Errorf("journal: truncating torn tail of %s: %w", filepath.Base(seg.path), err)
+			}
+			s.torn = true
+		}
+		expected += n
+		s.replayed += n
+		last = i
+	}
+	s.seq = expected
+	s.pending = nil
+	return s.openActive(last >= 0)
+}
+
+// openActive opens the active segment for appending. reuse continues
+// the newest existing segment; otherwise a fresh segment is cut at the
+// current sequence number.
+func (s *Store) openActive(reuse bool) error {
+	name := segName(s.seq)
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if reuse {
+		// The newest on-disk segment ends exactly at s.seq after replay
+		// and truncation, so appending continues it; its name keeps the
+		// start it had.
+		segs, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix))
+		if err == nil && len(segs) > 0 {
+			sort.Strings(segs)
+			name = filepath.Base(segs[len(segs)-1])
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, name), flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening segment: %w", err)
+	}
+	s.f = f
+	if start, ok := parseSeq(name, segPrefix, segSuffix); ok {
+		s.segStart = start
+	}
+	s.started = true
+	return nil
+}
+
+// Append logs one event payload. The record reaches the kernel before
+// Append returns (an acknowledged event survives process death); with
+// Options.SyncEveryAppend it also reaches the disk. It returns the
+// event's sequence number, 1-based over all of history.
+func (s *Store) Append(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.closed {
+		return 0, errors.New("journal: Append before Start or after Close")
+	}
+	if err := s.writeRecord(payload); err != nil {
+		return 0, err
+	}
+	if s.opts.SyncEveryAppend {
+		if err := s.f.Sync(); err != nil {
+			return 0, fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	s.seq++
+	s.appended++
+	return s.seq, nil
+}
+
+// writeRecord frames and writes payload to the active segment, flushed
+// to the kernel. Callers hold s.mu.
+func (s *Store) writeRecord(payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("journal: payload %d bytes exceeds limit %d", len(payload), MaxPayload)
+	}
+	// Build the frame in one buffer so a crash can tear at most the
+	// tail record, never interleave two.
+	bw := newFrameBuffer(payload)
+	if _, err := s.f.Write(bw); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the active segment to disk — the periodic fdatasync of
+// the "interval" fsync policy. The flush runs outside the append mutex:
+// a multi-megabyte fdatasync must not stall the hot append path behind
+// it, and flushing concurrently with new appends is sound — the tick
+// covers everything appended before it, newer records belong to the
+// next tick. A concurrent Compact may close the segment mid-sync;
+// os.File serializes that internally, and the rotation's own sync
+// already covered the file, so ErrClosed is benign.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	f := s.f
+	s.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			return nil
+		}
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Compact records snapshot as the complete state at the current
+// sequence number and makes it the new replay base: the active segment
+// is rotated first, then the snapshot is written to a temp file,
+// fsynced and atomically renamed, and finally older snapshots and
+// segments are removed. A crash anywhere in the sequence reopens to a
+// consistent prefix.
+func (s *Store) Compact(snapshot []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.closed {
+		return errors.New("journal: Compact before Start or after Close")
+	}
+	seq := s.seq
+
+	// 1. Rotate: the old segment is complete at seq, appends go to a
+	// fresh segment starting there.
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("journal: compact: syncing old segment: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("journal: compact: closing old segment: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: rotating segment: %w", err)
+	}
+	s.f = f
+	oldStart := s.segStart
+	s.segStart = seq
+
+	// 2. Snapshot: temp write, fsync, atomic rename.
+	tmp := filepath.Join(s.dir, snapName(seq)+".tmp")
+	if err := writeSnapshotFile(tmp, snapshot); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName(seq))); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	syncDir(s.dir)
+
+	// 3. Cleanup: anything strictly before the new snapshot is covered
+	// by it. Best-effort — leftovers are skipped and removed next Open.
+	if oldStart < seq {
+		_ = os.Remove(filepath.Join(s.dir, segName(oldStart)))
+	}
+	if s.snapSeq < seq && s.snapshot != nil {
+		_ = os.Remove(filepath.Join(s.dir, snapName(s.snapSeq)))
+	}
+	s.snapshot = snapshot
+	s.snapSeq = seq
+	s.compactions++
+	return nil
+}
+
+func writeSnapshotFile(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if _, err := f.Write(newFrameBuffer(payload)); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Close syncs and closes the active segment. It does not compact —
+// callers wanting a fast next boot snapshot first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f == nil {
+		return nil
+	}
+	serr := s.f.Sync()
+	cerr := s.f.Close()
+	if serr != nil {
+		return fmt.Errorf("journal: close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close: %w", cerr)
+	}
+	return nil
+}
+
+// Abandon drops the store without syncing — the crash-test hook that
+// models kill -9: buffered user-space state is discarded, anything
+// already written to the kernel survives for the next Open.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.f != nil {
+		_ = s.f.Close()
+	}
+}
+
+// Seq returns the current sequence number: events in history so far.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Seq:         s.seq,
+		SnapshotSeq: s.snapSeq,
+		Replayed:    s.replayed,
+		Appended:    s.appended,
+		TornTail:    s.torn,
+		Compactions: s.compactions,
+	}
+}
+
+// newFrameBuffer returns payload framed as one record in a fresh
+// buffer, so the write to the file is a single contiguous syscall.
+func newFrameBuffer(payload []byte) []byte {
+	buf := make([]byte, frameSize+len(payload))
+	frameInto(buf, payload)
+	return buf
+}

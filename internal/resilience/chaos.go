@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig sizes deterministic fault injection. Probabilities are
+// per request in [0, 1]; a zero config injects nothing. The same seed
+// and request order reproduce the same fault sequence, which is what
+// lets the chaos test suite assert exact outcomes.
+type ChaosConfig struct {
+	Seed int64
+	// LatencyP injects Latency of extra handler time.
+	LatencyP float64
+	Latency  time.Duration
+	// PanicP panics inside the handler chain — upstream recover
+	// boundaries must convert it to a 500 with a stable code.
+	PanicP float64
+	// TearP hijacks the connection and closes it mid-exchange, the
+	// server-side version of a client that vanished.
+	TearP float64
+}
+
+// enabled reports whether any fault has a chance of firing.
+func (c ChaosConfig) enabled() bool { return c.LatencyP > 0 || c.PanicP > 0 || c.TearP > 0 }
+
+// Chaos is the fault-injecting middleware. It sits inside the recover
+// boundary (panics it throws must be caught and answered like any
+// handler bug) and outside the real handlers.
+type Chaos struct {
+	cfg ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latencies atomic.Uint64
+	panics    atomic.Uint64
+	tears     atomic.Uint64
+}
+
+// NewChaos builds a fault injector from cfg; a nil return means chaos
+// is disabled and callers should skip the middleware entirely.
+func NewChaos(cfg ChaosConfig) *Chaos {
+	if !cfg.enabled() {
+		return nil
+	}
+	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected reports how many faults of each kind have fired.
+func (c *Chaos) Injected() (latencies, panics, tears uint64) {
+	return c.latencies.Load(), c.panics.Load(), c.tears.Load()
+}
+
+// roll draws the three fault decisions for one request under the lock,
+// so concurrent requests see a deterministic *sequence* of decisions
+// even though their assignment to requests depends on arrival order.
+func (c *Chaos) roll() (latency, panics, tear bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	latency = c.cfg.LatencyP > 0 && c.rng.Float64() < c.cfg.LatencyP
+	panics = c.cfg.PanicP > 0 && c.rng.Float64() < c.cfg.PanicP
+	tear = c.cfg.TearP > 0 && c.rng.Float64() < c.cfg.TearP
+	return
+}
+
+// Middleware wraps next with fault injection.
+func (c *Chaos) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		latency, panics, tear := c.roll()
+		if latency {
+			c.latencies.Add(1)
+			time.Sleep(c.cfg.Latency)
+		}
+		if tear {
+			if hj, ok := w.(http.Hijacker); ok {
+				c.tears.Add(1)
+				if conn, _, err := hj.Hijack(); err == nil {
+					_ = conn.Close()
+				}
+				return
+			}
+			// Recorders and other non-hijackable writers: fall through,
+			// the fault cannot be modelled on this transport.
+		}
+		if panics {
+			c.panics.Add(1)
+			panic("chaos: injected handler panic")
+		}
+		next.ServeHTTP(w, r)
+	})
+}

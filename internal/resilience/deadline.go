@@ -1,0 +1,60 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader is the request header carrying the client's end-to-end
+// budget for the request, in whole milliseconds. The server treats it
+// as a hint bounded by its own policy, never as an obligation to work
+// longer.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// DeadlinePolicy derives a per-request timeout from the client's
+// X-Deadline-Ms header, clamped into server policy: a request may ask
+// for less time than the default but never more than Max.
+type DeadlinePolicy struct {
+	// Default applies when the request carries no (or an unparseable)
+	// deadline header; zero means no deadline.
+	Default time.Duration
+	// Max caps any client-requested deadline; zero falls back to
+	// Default (and when both are zero, client deadlines are ignored).
+	Max time.Duration
+}
+
+// Timeout resolves the effective timeout for a request: the header
+// value clamped to [1ms, Max], or Default when absent or invalid. A
+// zero return means "no deadline".
+func (p DeadlinePolicy) Timeout(r *http.Request) time.Duration {
+	raw := r.Header.Get(DeadlineHeader)
+	if raw == "" {
+		return p.Default
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return p.Default
+	}
+	d := time.Duration(ms) * time.Millisecond
+	max := p.Max
+	if max == 0 {
+		max = p.Default
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// Context returns r.Context bounded by the policy's resolved timeout,
+// plus its cancel func (always non-nil; callers defer it). With no
+// effective deadline the request context passes through untouched.
+func (p DeadlinePolicy) Context(r *http.Request) (context.Context, context.CancelFunc) {
+	d := p.Timeout(r)
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}

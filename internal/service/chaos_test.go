@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/wire"
+)
+
+// TestChaosStorm is the fault-injection proof: a real server with
+// latency, panic and torn-connection injection enabled (and the journal
+// on) takes concurrent traffic, and every fault is accounted for — a
+// panic answers 500/CodePanic, a tear surfaces as a transport error,
+// nothing kills the daemon, and a post-storm crash reboot replays the
+// journal cleanly. Run under -race in CI.
+func TestChaosStorm(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Devices: 16, Shards: 4, BatteryJ: 1e5, CapacityJ: 2e5,
+		JournalDir: dir,
+		Chaos: resilience.ChaosConfig{
+			Seed:     42,
+			LatencyP: 0.15, Latency: 2 * time.Millisecond,
+			PanicP: 0.2,
+			TearP:  0.15,
+		},
+	}
+	svc := newTestService(t, cfg)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func(path string, body []byte) (int, string, error) {
+		resp, err := client.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			return resp.StatusCode, "", nil
+		}
+		var werr wire.ErrorResponse
+		_ = json.Unmarshal(raw, &werr)
+		return resp.StatusCode, werr.Error.Code, nil
+	}
+
+	solveBody := mustMarshal(t, &wire.SolveRequest{V: wire.Version, BudgetJ: 3})
+	reportFor := func(device int) []byte {
+		return mustMarshal(t, &wire.ReportRequest{
+			V: wire.Version, Reports: []wire.DeviceReport{{Device: device, ConsumedJ: 0.001}},
+		})
+	}
+
+	const workers = 8
+	const perWorker = 40
+	type tally struct{ ok, panics, tears, other int }
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var status int
+				var code string
+				var err error
+				if i%2 == 0 {
+					status, code, err = post("/v1/solve", solveBody)
+				} else {
+					status, code, err = post("/v1/report", reportFor((w*perWorker+i)%16))
+				}
+				switch {
+				case err != nil:
+					tallies[w].tears++
+				case status == http.StatusOK:
+					tallies[w].ok++
+				case status == http.StatusInternalServerError && code == wire.CodePanic:
+					tallies[w].panics++
+				default:
+					tallies[w].other++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total tally
+	for _, tl := range tallies {
+		total.ok += tl.ok
+		total.panics += tl.panics
+		total.tears += tl.tears
+		total.other += tl.other
+	}
+	t.Logf("chaos storm: %d ok, %d panics, %d tears, %d other", total.ok, total.panics, total.tears, total.other)
+
+	_, injectedPanics, injectedTears := svc.chaos.Injected()
+	if total.other != 0 {
+		t.Errorf("%d responses were neither 200, 500/panic nor a tear", total.other)
+	}
+	if uint64(total.panics) != injectedPanics {
+		t.Errorf("clients saw %d panic responses, injector fired %d — every injected panic must answer 500/%s",
+			total.panics, injectedPanics, wire.CodePanic)
+	}
+	if uint64(total.tears) != injectedTears {
+		t.Errorf("clients saw %d transport errors, injector tore %d connections", total.tears, injectedTears)
+	}
+	if injectedPanics == 0 || injectedTears == 0 {
+		t.Errorf("storm injected no faults (panics %d, tears %d) — probabilities or volume too low",
+			injectedPanics, injectedTears)
+	}
+	if got := svc.Stats().Panics; got != injectedPanics {
+		t.Errorf("stats panics = %d, want the %d injected", got, injectedPanics)
+	}
+
+	// The daemon survived; now prove the journal did too. Kill it
+	// uncleanly and reboot without chaos: replay must reconstruct
+	// whatever was acknowledged mid-storm.
+	preStates := deviceStates(t, svc)
+	srv.Close()
+	crashService(svc)
+
+	calm := cfg
+	calm.Chaos = resilience.ChaosConfig{}
+	restored := newTestService(t, calm)
+	defer restored.Close()
+	expectStatesEqual(t, deviceStates(t, restored), preStates)
+}
+
+// TestChaosDeterministicAcrossRuns: the same seed against the same
+// request sequence injects the same faults — what lets a failing chaos
+// run be replayed exactly.
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64, uint64, []int) {
+		svc := newTestService(t, Config{Chaos: resilience.ChaosConfig{
+			Seed: 7, PanicP: 0.3, LatencyP: 0.3, Latency: time.Microsecond,
+		}})
+		h := svc.Handler()
+		var statuses []int
+		for i := 0; i < 30; i++ {
+			rec := do(t, h, http.MethodPost, "/v1/solve",
+				mustMarshal(t, &wire.SolveRequest{V: wire.Version, BudgetJ: 1}))
+			statuses = append(statuses, rec.Code)
+		}
+		l, p, tr := svc.chaos.Injected()
+		return l, p, tr, statuses
+	}
+	l1, p1, t1, s1 := run()
+	l2, p2, t2, s2 := run()
+	if l1 != l2 || p1 != p2 || t1 != t2 {
+		t.Errorf("fault counts diverged across identical runs: (%d,%d,%d) vs (%d,%d,%d)", l1, p1, t1, l2, p2, t2)
+	}
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Errorf("status sequences diverged:\n%v\n%v", s1, s2)
+	}
+	if p1 == 0 {
+		t.Error("no panics injected in 30 requests at P=0.3")
+	}
+}

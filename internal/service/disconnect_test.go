@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/wire"
+)
+
+// TestTelemetryDisconnectMidStream opens real TCP telemetry streams and
+// vanishes mid-line, the way battery-powered clients do: each stream
+// carries one complete event and then a partial trailing line cut off
+// by an abrupt close. The contract: the complete event is processed
+// (steps counter moves), the partial line is never half-parsed (no
+// extra step, no malformed-event error), and every handler goroutine
+// winds down — an abandoned stream may not pin a goroutine.
+//
+// The responses are deliberately not read: Go's HTTP/1 server drains an
+// unconsumed request body before flushing response headers, so a
+// client that both streams and reads would deadlock against a test
+// that controls one socket. The observable effects — counters and
+// goroutine count — are the contract here; response framing per event
+// is covered by TestTelemetryStream and the handler-level test below.
+func TestTelemetryDisconnectMidStream(t *testing.T) {
+	svc := newTestService(t, Config{Devices: 8, BatteryJ: 20, CapacityJ: 100})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	baseline := runtime.NumGoroutine()
+
+	const streams = 5
+	for i := 0; i < streams; i++ {
+		conn, err := net.Dial("tcp", strings.TrimPrefix(srv.URL, "http://"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(conn, "POST /v1/telemetry HTTP/1.1\r\nHost: reapd-test\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n")
+		writeChunk := func(s string) {
+			if _, err := fmt.Fprintf(conn, "%x\r\n%s\r\n", len(s), s); err != nil {
+				t.Fatalf("stream %d: writing chunk: %v", i, err)
+			}
+		}
+		writeChunk(fmt.Sprintf(`{"v":%d,"device":%d,"harvest_j":1.5}`+"\n", wire.Version, i))
+		writeChunk(fmt.Sprintf(`{"v":%d,"device":%d,"harv`, wire.Version, i)) // the line the client died on
+		_ = conn.Close()
+	}
+
+	// Every complete event stepped its device; no partial line did.
+	waitFor(t, 10*time.Second, func() bool { return svc.Stats().Steps == streams }, func() string {
+		return fmt.Sprintf("steps = %d, want %d (complete events only)", svc.Stats().Steps, streams)
+	})
+
+	// The handler goroutines must exit once their readers fail.
+	waitFor(t, 10*time.Second, func() bool { return runtime.NumGoroutine() <= baseline+2 }, func() string {
+		return fmt.Sprintf("goroutines = %d, baseline %d — telemetry handlers leaked", runtime.NumGoroutine(), baseline)
+	})
+}
+
+// TestTelemetryPartialLineAnsweredPrefix is the handler-level view of
+// the same disconnect, where the response stream is observable: the
+// complete events are each answered, and the partial trailing line
+// produces no result line at all — dropped, not misparsed as an event.
+func TestTelemetryPartialLineAnsweredPrefix(t *testing.T) {
+	svc := newTestService(t, Config{Devices: 8, BatteryJ: 20, CapacityJ: 100})
+	h := svc.Handler()
+
+	pr, pw := io.Pipe()
+	w := newLineWriter()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/telemetry", pr))
+	}()
+
+	harvest := 2.0
+	for _, device := range []int{0, 5} {
+		raw := mustMarshal(t, &wire.TelemetryEvent{V: wire.Version, Device: device, HarvestJ: &harvest})
+		if _, err := pw.Write(append(raw, '\n')); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case line := <-w.lines:
+			var res wire.TelemetryResult
+			if err := json.Unmarshal([]byte(line), &res); err != nil {
+				t.Fatalf("decoding %q: %v", line, err)
+			}
+			if res.Device != device || res.Error != nil || res.Allocation == nil {
+				t.Fatalf("device %d answered %+v", device, res)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no result for device %d", device)
+		}
+	}
+
+	// Half a line, then the connection dies.
+	if _, err := pw.Write([]byte(`{"v":1,"device":3,"harv`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.CloseWithError(fmt.Errorf("client vanished"))
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after the body failed")
+	}
+	select {
+	case line := <-w.lines:
+		t.Fatalf("partial trailing line produced a result: %s", line)
+	default:
+	}
+	if got := svc.Stats().Steps; got != 2 {
+		t.Errorf("steps = %d, want 2 — the partial line must not have stepped device 3", got)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg func() string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg())
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/wire"
+)
+
+// solveWithDeadline posts a solve carrying an X-Deadline-Ms header.
+func solveWithDeadline(t *testing.T, h http.Handler, ms string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve",
+		bytes.NewReader(mustMarshal(t, &wire.SolveRequest{V: wire.Version, BudgetJ: 2})))
+	req.Header.Set("Content-Type", "application/json")
+	if ms != "" {
+		req.Header.Set(resilience.DeadlineHeader, ms)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDeadlineExceededMapsTo504(t *testing.T) {
+	svc := newTestService(t, Config{
+		Deadline: resilience.DeadlinePolicy{Default: 5 * time.Second, Max: 10 * time.Second},
+	})
+	// Hold the handler past the requested deadline: the solve runs with
+	// an already-expired context and the solver's ctx check fires.
+	svc.testHookSolve = func() { time.Sleep(60 * time.Millisecond) }
+	h := svc.Handler()
+
+	rec := solveWithDeadline(t, h, "20")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeDeadlineExceeded {
+		t.Errorf("error code = %q, want %q", got, wire.CodeDeadlineExceeded)
+	}
+
+	// Without the header the default (5s) applies and the request is
+	// comfortably inside it.
+	if rec := solveWithDeadline(t, h, ""); rec.Code != http.StatusOK {
+		t.Errorf("no header: status = %d, want 200; body %s", rec.Code, rec.Body)
+	}
+}
+
+func TestDeadlineClampedByServerMax(t *testing.T) {
+	svc := newTestService(t, Config{
+		Deadline: resilience.DeadlinePolicy{Default: time.Second, Max: 20 * time.Millisecond},
+	})
+	svc.testHookSolve = func() { time.Sleep(60 * time.Millisecond) }
+	h := svc.Handler()
+
+	// The client asks for 10 s; policy clamps to 20 ms, so the held
+	// request still times out.
+	rec := solveWithDeadline(t, h, "10000")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (clamped deadline); body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeDeadlineExceeded {
+		t.Errorf("error code = %q, want %q", got, wire.CodeDeadlineExceeded)
+	}
+}
+
+func TestNoDeadlinePolicyIgnoresHeader(t *testing.T) {
+	svc := newTestService(t, Config{})
+	svc.testHookSolve = func() { time.Sleep(30 * time.Millisecond) }
+	if rec := solveWithDeadline(t, svc.Handler(), "1"); rec.Code != http.StatusOK {
+		t.Errorf("status = %d, want 200 — without a policy the header must not bind", rec.Code)
+	}
+}
+
+func TestOverloadShedsBeforeWork(t *testing.T) {
+	svc := newTestService(t, Config{MaxInflight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	svc.testHookSolve = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	h := svc.Handler()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := solveWithDeadline(t, h, "")
+		if rec.Code != http.StatusOK {
+			t.Errorf("held request: status = %d, want 200", rec.Code)
+		}
+	}()
+	<-entered // the only slot is occupied
+
+	svc.testHookSolve = nil // the shed request must never reach the hook
+	rec := solveWithDeadline(t, h, "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over capacity: status = %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeOverloaded {
+		t.Errorf("error code = %q, want %q", got, wire.CodeOverloaded)
+	}
+	if secs, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want seconds ≥ 1", rec.Header().Get("Retry-After"))
+	}
+
+	// Operator surfaces stay reachable under overload.
+	if rec := do(t, h, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz under overload: status = %d, want 200", rec.Code)
+	}
+	if rec := do(t, h, http.MethodGet, "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Errorf("stats under overload: status = %d, want 200", rec.Code)
+	}
+
+	close(release)
+	wg.Wait()
+	if got := svc.Stats().Shed; got != 1 {
+		t.Errorf("stats shed = %d, want 1", got)
+	}
+}
+
+func TestHandlerPanicAnswers500AndServiceSurvives(t *testing.T) {
+	svc := newTestService(t, Config{})
+	svc.testHookSolve = func() { panic("faults test: solve handler bug") }
+	h := svc.Handler()
+
+	rec := solveWithDeadline(t, h, "")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500; body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodePanic {
+		t.Errorf("error code = %q, want %q", got, wire.CodePanic)
+	}
+
+	svc.testHookSolve = nil
+	if rec := solveWithDeadline(t, h, ""); rec.Code != http.StatusOK {
+		t.Errorf("after panic: status = %d, want 200 — one bad request must not take the daemon down", rec.Code)
+	}
+	if got := svc.Stats().Panics; got != 1 {
+		t.Errorf("stats panics = %d, want 1", got)
+	}
+}
+
+func TestShardPanicsQuarantineShard(t *testing.T) {
+	svc := newTestService(t, Config{Devices: 16, Shards: 4, BatteryJ: 20, CapacityJ: 60, QuarantineAfter: 2})
+	svc.testHookReport = func() { panic("faults test: shard state corruption") }
+	h := svc.Handler()
+
+	report := func(device int) *httptest.ResponseRecorder {
+		return do(t, h, http.MethodPost, "/v1/report", &wire.ReportRequest{
+			V: wire.Version, Reports: []wire.DeviceReport{{Device: device, ConsumedJ: 0.1}},
+		})
+	}
+
+	// Shard 0 owns devices [0, 4). Two panics trip its breaker.
+	for i := 0; i < 2; i++ {
+		rec := report(0)
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("panic %d: status = %d, want 500; body %s", i, rec.Code, rec.Body)
+		}
+		if got := decodeErrCode(t, rec); got != wire.CodePanic {
+			t.Fatalf("panic %d: error code = %q, want %q", i, got, wire.CodePanic)
+		}
+	}
+
+	svc.testHookReport = nil // the shard stays quarantined even with the bug gone
+	rec := report(1)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined shard: status = %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	if got := decodeErrCode(t, rec); got != wire.CodeShardQuarantined {
+		t.Errorf("error code = %q, want %q", got, wire.CodeShardQuarantined)
+	}
+
+	// The rest of the fleet serves on: another shard's device and the
+	// stateless solve path are unaffected.
+	if rec := report(12); rec.Code != http.StatusOK {
+		t.Errorf("healthy shard: status = %d, want 200; body %s", rec.Code, rec.Body)
+	}
+	if rec := solveWithDeadline(t, h, ""); rec.Code != http.StatusOK {
+		t.Errorf("stateless solve with a quarantined shard: status = %d, want 200", rec.Code)
+	}
+
+	stats := svc.Stats()
+	if stats.Panics != 2 {
+		t.Errorf("stats panics = %d, want 2", stats.Panics)
+	}
+	if stats.ShardsQuarantined != 1 {
+		t.Errorf("stats shards_quarantined = %d, want 1", stats.ShardsQuarantined)
+	}
+}
+
+// TestQuarantineDisabledStillCountsPanics: without a threshold the
+// daemon contains panics but never fences devices off.
+func TestQuarantineDisabledStillCountsPanics(t *testing.T) {
+	svc := newTestService(t, Config{Devices: 4, BatteryJ: 20, CapacityJ: 60})
+	svc.testHookReport = func() { panic("boom") }
+	h := svc.Handler()
+	for i := 0; i < 3; i++ {
+		if rec := do(t, h, http.MethodPost, "/v1/report", &wire.ReportRequest{
+			V: wire.Version, Reports: []wire.DeviceReport{{Device: 0, ConsumedJ: 0.1}},
+		}); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("panic %d: status = %d, want 500", i, rec.Code)
+		}
+	}
+	svc.testHookReport = nil
+	if rec := do(t, h, http.MethodPost, "/v1/report", &wire.ReportRequest{
+		V: wire.Version, Reports: []wire.DeviceReport{{Device: 0, ConsumedJ: 0.1}},
+	}); rec.Code != http.StatusOK {
+		t.Errorf("after panics without quarantine: status = %d, want 200", rec.Code)
+	}
+	if got := svc.Stats().Panics; got != 3 {
+		t.Errorf("stats panics = %d, want 3", got)
+	}
+}

@@ -1,0 +1,444 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	reap "repro"
+	"repro/internal/journal"
+	"repro/wire"
+)
+
+// This file is the crash-safety layer of the daemon: every state
+// mutation the service acknowledges (device reports, telemetry steps,
+// alpha changes) is framed as a journalEvent and appended to an
+// internal/journal store before the response goes out, so a restart —
+// even an unclean one — reconstructs the fleet by loading the newest
+// snapshot and replaying the logged tail through the same deterministic
+// apply paths the live handlers use. Solves are pure and never
+// journaled.
+//
+// Ordering contract: an event is appended while the locks of every
+// shard it mutated are still held (a step or alpha change holds one; a
+// report group holds all the shards it touched, acquired in ascending
+// order), so the journal's per-shard subsequence matches the order
+// mutations actually ran in. Replay applies events in journal order,
+// which therefore replays each shard's history exactly.
+
+// Fsync policies: how often the journal flushes to disk. Appends always
+// reach the kernel before a request is acknowledged (surviving kill
+// -9); the policy only bounds exposure to power loss.
+const (
+	FsyncAlways   = "always"   // fdatasync per append
+	FsyncInterval = "interval" // fdatasync on a timer (the default)
+	FsyncNever    = "never"    // no explicit sync; kernel writeback only
+)
+
+// Journal event ops.
+const (
+	opReport = "report"
+	opStep   = "step"
+	opAlpha  = "alpha"
+)
+
+// journalEvent is one logged state mutation. Exactly one of the
+// op-specific field sets is populated.
+type journalEvent struct {
+	Op string
+	// opReport: the reports applied in one locked group.
+	Reports []wire.DeviceReport
+	// opStep / opAlpha: the device acted on.
+	Device int
+	// opStep: the harvest the device planned with.
+	HarvestJ *float64
+	// opAlpha: the new accuracy-time weight.
+	Alpha *float64
+}
+
+// Journal event payload encoding: a compact binary format rather than
+// JSON, because the report path encodes inside its shard locks on every
+// acknowledged batch and float formatting alone would blow the ≤15%
+// journaling budget (see BenchmarkReportPath). Layout:
+//
+//	byte 0: payload format version (evFormat)
+//	byte 1: op tag (evReport / evStep / evAlpha)
+//	evReport: uvarint count, then per report
+//	          [uvarint device | 8B little-endian float64 consumed_j]
+//	evStep:   uvarint device, 8B little-endian float64 harvest_j
+//	evAlpha:  uvarint device, 8B little-endian float64 alpha
+//
+// Floats travel as raw IEEE-754 bits — exact round-trip, no formatting
+// cost. Integrity (CRC) and record boundaries (length prefix) belong to
+// the framing layer in internal/journal; this layer only owns meaning.
+// Snapshots stay JSON: they are written once per compaction, and an
+// operator debugging a journal directory can read them.
+const (
+	evFormat = 1
+	evReport = 1
+	evStep   = 2
+	evAlpha  = 3
+)
+
+// encodeEvent appends ev's binary encoding to buf and returns it.
+func encodeEvent(buf []byte, ev *journalEvent) ([]byte, error) {
+	switch ev.Op {
+	case opReport:
+		buf = append(buf, evFormat, evReport)
+		buf = binary.AppendUvarint(buf, uint64(len(ev.Reports)))
+		for _, rep := range ev.Reports {
+			if rep.Device < 0 {
+				return nil, fmt.Errorf("journal event: negative device %d", rep.Device)
+			}
+			buf = binary.AppendUvarint(buf, uint64(rep.Device))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rep.ConsumedJ))
+		}
+	case opStep:
+		if ev.Device < 0 || ev.HarvestJ == nil {
+			return nil, fmt.Errorf("journal step event: device %d, harvest %v", ev.Device, ev.HarvestJ)
+		}
+		buf = append(buf, evFormat, evStep)
+		buf = binary.AppendUvarint(buf, uint64(ev.Device))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*ev.HarvestJ))
+	case opAlpha:
+		if ev.Device < 0 || ev.Alpha == nil {
+			return nil, fmt.Errorf("journal alpha event: device %d, alpha %v", ev.Device, ev.Alpha)
+		}
+		buf = append(buf, evFormat, evAlpha)
+		buf = binary.AppendUvarint(buf, uint64(ev.Device))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(*ev.Alpha))
+	default:
+		return nil, fmt.Errorf("journal event: unknown op %q", ev.Op)
+	}
+	return buf, nil
+}
+
+// decodeEvent parses one binary event payload, strictly: every byte
+// must be consumed, exactly as the service's wire layer treats JSON.
+func decodeEvent(payload []byte) (*journalEvent, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("journal event: %d-byte payload", len(payload))
+	}
+	if payload[0] != evFormat {
+		return nil, fmt.Errorf("journal event: unknown format %d", payload[0])
+	}
+	tag, rest := payload[1], payload[2:]
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("journal event: truncated varint")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	readFloat := func() (float64, error) {
+		if len(rest) < 8 {
+			return 0, fmt.Errorf("journal event: truncated float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		return f, nil
+	}
+	ev := &journalEvent{}
+	switch tag {
+	case evReport:
+		ev.Op = opReport
+		count, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > uint64(len(rest)) { // each report needs ≥9 bytes
+			return nil, fmt.Errorf("journal event: implausible report count %d", count)
+		}
+		ev.Reports = make([]wire.DeviceReport, count)
+		for i := range ev.Reports {
+			device, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			consumed, err := readFloat()
+			if err != nil {
+				return nil, err
+			}
+			ev.Reports[i] = wire.DeviceReport{Device: int(device), ConsumedJ: consumed}
+		}
+	case evStep, evAlpha:
+		device, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		f, err := readFloat()
+		if err != nil {
+			return nil, err
+		}
+		ev.Device = int(device)
+		if tag == evStep {
+			ev.Op = opStep
+			ev.HarvestJ = &f
+		} else {
+			ev.Op = opAlpha
+			ev.Alpha = &f
+		}
+	default:
+		return nil, fmt.Errorf("journal event: unknown op tag %d", tag)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("journal event: %d trailing bytes", len(rest))
+	}
+	return ev, nil
+}
+
+// journalSnapshot is the compaction payload: the complete mutable state
+// of the service at one sequence number. Counters for journaled
+// mutations reconcile exactly across a crash (snapshot base + replay);
+// pure-solve counters persist only as of the last snapshot.
+type journalSnapshot struct {
+	V           int                    `json:"v"`
+	Fingerprint string                 `json:"fingerprint"`
+	Solves      uint64                 `json:"solves"`
+	BatchItems  uint64                 `json:"batch_items"`
+	Steps       uint64                 `json:"steps"`
+	Reports     uint64                 `json:"reports"`
+	AlphaSets   uint64                 `json:"alpha_sets"`
+	States      []reap.ControllerState `json:"states"` // index = global device
+}
+
+// fingerprint identifies the configuration a journal belongs to. A
+// journal written under one fleet shape must not silently replay into
+// another: device indices and initial conditions would no longer mean
+// the same thing, so boot refuses with an explicit error instead.
+func (s *Service) fingerprint() string {
+	return fmt.Sprintf("v1 devices=%d solver=%q battery=%g/%g",
+		s.cfg.Devices, s.cfg.Solver, s.cfg.BatteryJ, s.cfg.CapacityJ)
+}
+
+// openJournal runs the two-phase boot: Open loads the newest snapshot,
+// restoreSnapshot rebuilds fleet state and counters from it, Start
+// replays the logged tail through replayEvent, and a fresh compaction
+// re-bases the journal so the next boot replays only what this process
+// appends. Called from New before the service serves anything.
+func (s *Service) openJournal() error {
+	store, err := journal.Open(s.cfg.JournalDir, journal.Options{
+		SyncEveryAppend: s.cfg.FsyncPolicy == FsyncAlways,
+	})
+	if err != nil {
+		return err
+	}
+	if payload, _ := store.Snapshot(); payload != nil {
+		if err := s.restoreSnapshot(payload); err != nil {
+			return err
+		}
+	}
+	if err := store.Start(s.replayEvent); err != nil {
+		return err
+	}
+	s.store = store
+	if err := s.compact(); err != nil {
+		return fmt.Errorf("boot compaction: %w", err)
+	}
+	return nil
+}
+
+// restoreSnapshot rebuilds per-device controller state and the
+// journaled counters from a snapshot payload.
+func (s *Service) restoreSnapshot(payload []byte) error {
+	var snap journalSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("journal snapshot: %w", err)
+	}
+	if snap.Fingerprint != s.fingerprint() {
+		return fmt.Errorf("%w: journal %s belongs to %q, this service is %q",
+			reap.ErrInvalidConfig, s.cfg.JournalDir, snap.Fingerprint, s.fingerprint())
+	}
+	if len(snap.States) != s.cfg.Devices {
+		return fmt.Errorf("%w: journal snapshot holds %d devices, service owns %d",
+			reap.ErrInvalidConfig, len(snap.States), s.cfg.Devices)
+	}
+	for device, st := range snap.States {
+		ctl, err := s.deviceFor(device)
+		if err != nil {
+			return err
+		}
+		if err := ctl.Restore(st); err != nil {
+			return fmt.Errorf("restoring device %d: %w", device, err)
+		}
+	}
+	s.solves.Store(snap.Solves)
+	s.batchItems.Store(snap.BatchItems)
+	s.steps.Store(snap.Steps)
+	s.reports.Store(snap.Reports)
+	s.alphaSets.Store(snap.AlphaSets)
+	return nil
+}
+
+// deviceFor resolves a global device index to its controller. Boot-time
+// only — no shard locking; the service is not serving yet.
+func (s *Service) deviceFor(device int) (*reap.Controller, error) {
+	sh, err := s.shardFor(device)
+	if err != nil {
+		return nil, err
+	}
+	return sh.fleet.Device(device - sh.lo)
+}
+
+// replayEvent applies one logged event during boot. Only successful
+// mutations were journaled, so apply errors here mean the event is
+// re-failing deterministically (skipped, exactly as it failed live);
+// structural errors — unknown ops, devices outside the fleet — mean a
+// journal this configuration cannot own, and abort the boot.
+func (s *Service) replayEvent(payload []byte) error {
+	ev, err := decodeEvent(payload)
+	if err != nil {
+		return fmt.Errorf("malformed journal event: %w", err)
+	}
+	switch ev.Op {
+	case opReport:
+		for _, rep := range ev.Reports {
+			ctl, err := s.deviceFor(rep.Device)
+			if err != nil {
+				return fmt.Errorf("replaying report: %w", err)
+			}
+			if ctl.Report(rep.ConsumedJ) == nil {
+				s.reports.Add(1)
+			}
+		}
+	case opStep:
+		if ev.HarvestJ == nil {
+			return fmt.Errorf("journal step event without harvest")
+		}
+		ctl, err := s.deviceFor(ev.Device)
+		if err != nil {
+			return fmt.Errorf("replaying step: %w", err)
+		}
+		if _, err := ctl.Step(*ev.HarvestJ); err == nil {
+			s.steps.Add(1)
+		}
+	case opAlpha:
+		if ev.Alpha == nil {
+			return fmt.Errorf("journal alpha event without alpha")
+		}
+		ctl, err := s.deviceFor(ev.Device)
+		if err != nil {
+			return fmt.Errorf("replaying alpha: %w", err)
+		}
+		if ctl.SetAlpha(*ev.Alpha) == nil {
+			s.alphaSets.Add(1)
+		}
+	default:
+		return fmt.Errorf("unknown journal op %q", ev.Op)
+	}
+	return nil
+}
+
+// journalAppend logs one event, a no-op when journaling is off. Callers
+// hold the lock of every shard the event mutated, which is what pins
+// per-shard journal order to apply order.
+func (s *Service) journalAppend(ev *journalEvent) *wire.Error {
+	if s.store == nil {
+		return nil
+	}
+	payload, err := encodeEvent(make([]byte, 0, 4+18*(1+len(ev.Reports))), ev)
+	if err != nil {
+		return wire.Errorf(wire.CodeInternal, "encoding journal event: %v", err)
+	}
+	if _, err := s.store.Append(payload); err != nil {
+		// The mutation is applied but not durable: answer 500 so the
+		// client does not treat it as acknowledged.
+		return wire.Errorf(wire.CodeInternal, "journal append: %v", err)
+	}
+	return nil
+}
+
+// buildSnapshot serializes the complete service state. Callers must
+// hold every shard lock (see compact) so the snapshot is a consistent
+// cut: no mutation can land between a shard's capture and the sequence
+// number the snapshot is recorded at.
+func (s *Service) buildSnapshot() ([]byte, error) {
+	snap := journalSnapshot{
+		V:           wire.Version,
+		Fingerprint: s.fingerprint(),
+		Solves:      s.solves.Load(),
+		BatchItems:  s.batchItems.Load(),
+		Steps:       s.steps.Load(),
+		Reports:     s.reports.Load(),
+		AlphaSets:   s.alphaSets.Load(),
+		States:      make([]reap.ControllerState, s.cfg.Devices),
+	}
+	for _, sh := range s.shards {
+		for local := 0; local < sh.hi-sh.lo; local++ {
+			ctl, err := sh.fleet.Device(local)
+			if err != nil {
+				return nil, err
+			}
+			snap.States[sh.lo+local] = ctl.State()
+		}
+	}
+	return json.Marshal(&snap)
+}
+
+// compact writes a snapshot of current state and re-bases the journal
+// on it. It stops the world — every shard lock is held for the
+// duration — so the snapshot is exactly the state at the recorded
+// sequence number; the pause is one full-fleet state serialization.
+func (s *Service) compact() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	payload, err := s.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := s.store.Compact(payload); err != nil {
+		return err
+	}
+	s.appendsAtCompact.Store(s.store.Stats().Appended)
+	return nil
+}
+
+// maintain is the journal's background loop: under the "interval"
+// fsync policy it flushes appended records to disk each tick, and under
+// every policy it compacts once enough events accumulate past the last
+// snapshot. It is the one long-lived goroutine the service owns, and it
+// runs behind a resilience.Go recover boundary (enforced by the reapvet
+// recoverboundary analyzer).
+func (s *Service) maintain() {
+	ticker := time.NewTicker(s.cfg.FsyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if s.cfg.FsyncPolicy == FsyncInterval {
+				_ = s.store.Sync()
+			}
+			if n := s.store.Stats().Appended; n-s.appendsAtCompact.Load() >= s.cfg.SnapshotEvery {
+				_ = s.compact()
+			}
+		}
+	}
+}
+
+// Close stops the maintenance loop, compacts a final snapshot so the
+// next boot replays nothing, and closes the journal. Safe to call more
+// than once; a Service without a journal closes trivially.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+		}
+		if s.store == nil {
+			return
+		}
+		if err := s.compact(); err != nil {
+			_ = s.store.Close()
+			s.closeErr = err
+			return
+		}
+		s.closeErr = s.store.Close()
+	})
+	return s.closeErr
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/wire"
+)
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	harvest := 1.5
+	alpha := 0.25
+	tiny := 5e-324 // smallest subnormal: raw-bits transport must not lose it
+	cases := []struct {
+		name string
+		ev   journalEvent
+	}{
+		{"report", journalEvent{Op: opReport, Reports: []wire.DeviceReport{
+			{Device: 0, ConsumedJ: 0.001},
+			{Device: 300, ConsumedJ: tiny},
+			{Device: 7, ConsumedJ: math.MaxFloat64},
+		}}},
+		{"report_empty", journalEvent{Op: opReport, Reports: []wire.DeviceReport{}}},
+		{"step", journalEvent{Op: opStep, Device: 3, HarvestJ: &harvest}},
+		{"step_device_zero", journalEvent{Op: opStep, Device: 0, HarvestJ: &harvest}},
+		{"alpha", journalEvent{Op: opAlpha, Device: 1 << 20, Alpha: &alpha}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload, err := encodeEvent(nil, &tc.ev)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := decodeEvent(payload)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(*got, tc.ev) {
+				t.Errorf("round trip changed the event:\n got %+v\nwant %+v", *got, tc.ev)
+			}
+		})
+	}
+}
+
+func TestEventCodecRejectsInvalid(t *testing.T) {
+	harvest := 1.5
+	valid, err := encodeEvent(nil, &journalEvent{Op: opStep, Device: 3, HarvestJ: &harvest})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := map[string][]byte{
+		"empty":          {},
+		"format_only":    {evFormat},
+		"unknown_format": {99, evStep},
+		"unknown_op":     {evFormat, 99},
+		"truncated":      valid[:len(valid)-3],
+		"trailing":       append(append([]byte{}, valid...), 0),
+		// Report count larger than the bytes that follow could carry.
+		"implausible_count": {evFormat, evReport, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, payload := range bad {
+		if ev, err := decodeEvent(payload); err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, ev)
+		}
+	}
+
+	// Encoding refuses events that could not replay.
+	for name, ev := range map[string]*journalEvent{
+		"unknown_op":      {Op: "flush"},
+		"step_no_harvest": {Op: opStep, Device: 1},
+		"alpha_no_alpha":  {Op: opAlpha, Device: 1},
+		"negative_device": {Op: opStep, Device: -1, HarvestJ: &harvest},
+		"negative_report": {Op: opReport, Reports: []wire.DeviceReport{{Device: -2}}},
+	} {
+		if _, err := encodeEvent(nil, ev); err == nil {
+			t.Errorf("encode %s: want error", name)
+		}
+	}
+}

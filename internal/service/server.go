@@ -64,14 +64,17 @@ func (s *Server) Serve() error {
 // the service stops admitting new work (in-flight solves and telemetry
 // events finish and answer), then the HTTP server closes its listener
 // and waits for active requests to complete, bounded by ctx. After the
-// deadline any stragglers are cut off hard.
+// deadline any stragglers are cut off hard. Once no request can be in
+// flight, the journal compacts a final snapshot and closes, so a clean
+// shutdown boots back with zero replay.
 func (s *Server) Drain(ctx context.Context) error {
 	s.svc.Drain()
 	if err := s.http.Shutdown(ctx); err != nil {
 		// Deadline hit with connections still open: close them rather
 		// than leak the process.
 		_ = s.http.Close()
+		_ = s.svc.Close()
 		return fmt.Errorf("service: drain: %w", err)
 	}
-	return nil
+	return s.svc.Close()
 }

@@ -16,10 +16,20 @@
 //   - Admission: a per-tenant token bucket (tenant = X-Tenant header)
 //     charges one token per solve — batch items each cost one — and
 //     rejects over-budget work with 429 and a Retry-After hint.
-//   - Drain: Drain stops admitting new work (503 draining) while
-//     in-flight requests, including open telemetry streams, finish;
-//     Server.Drain composes this with http.Server.Shutdown so listeners
-//     close too. cmd/reapd wires SIGTERM to exactly that.
+//   - Drain: Drain stops admitting new work (503 draining, Retry-After)
+//     while in-flight requests, including open telemetry streams,
+//     finish; Server.Drain composes this with http.Server.Shutdown so
+//     listeners close too. cmd/reapd wires SIGTERM to exactly that.
+//   - Crash safety: with Config.JournalDir set, every acknowledged
+//     state mutation (reports, steps, alpha changes) is logged to an
+//     internal/journal write-ahead store before the response goes out,
+//     and boot replays snapshot + tail back into the fleet — see
+//     journal.go and the "Failure model" section of DESIGN.md.
+//   - Fault containment: handlers run behind recover boundaries
+//     (middleware.go); shard critical sections convert panics into
+//     500/CodePanic and quarantine the shard after repeated panics; an
+//     in-flight gate sheds overload with 503 before work is done; the
+//     X-Deadline-Ms header bounds each request under server policy.
 package service
 
 import (
@@ -36,6 +46,8 @@ import (
 	"time"
 
 	reap "repro"
+	"repro/internal/journal"
+	"repro/internal/resilience"
 	"repro/wire"
 )
 
@@ -63,6 +75,38 @@ type Config struct {
 	// least 1 (default max(RatePerSec, 1)).
 	RatePerSec float64
 	Burst      int
+	// JournalDir, when set, makes the service crash-safe: every state
+	// mutation is appended to a write-ahead journal there before it is
+	// acknowledged, and boot replays snapshot + tail back into the
+	// fleet. Empty (the default) disables journaling.
+	JournalDir string
+	// FsyncPolicy bounds power-loss exposure: FsyncAlways syncs per
+	// append, FsyncInterval (the default) syncs every FsyncInterval,
+	// FsyncNever leaves flushing to kernel writeback. All policies
+	// survive process death (kill -9): appends reach the kernel before
+	// the response does.
+	FsyncPolicy string
+	// FsyncInterval is the maintenance-loop tick (default 100ms): the
+	// sync cadence under FsyncInterval and the compaction check cadence
+	// under every policy.
+	FsyncInterval time.Duration
+	// SnapshotEvery compacts the journal after this many appends
+	// (default 4096), bounding replay time at the next boot.
+	SnapshotEvery uint64
+	// QuarantineAfter takes a shard out of service (503
+	// shard_quarantined) after that many panics inside its handlers —
+	// state that keeps panicking can no longer be trusted. 0 disables
+	// quarantine; panics are still counted and contained.
+	QuarantineAfter int
+	// MaxInflight sheds requests (503 overloaded, Retry-After) past
+	// this many concurrently admitted requests; 0 admits everything.
+	MaxInflight int
+	// Deadline derives per-request timeouts from the X-Deadline-Ms
+	// header, clamped into [0, Max]. The zero policy applies none.
+	Deadline resilience.DeadlinePolicy
+	// Chaos enables deterministic fault injection — test and load-rig
+	// use only. The zero config injects nothing.
+	Chaos resilience.ChaosConfig
 }
 
 // Service owns the sharded fleet and implements the endpoint handlers.
@@ -72,6 +116,9 @@ type Service struct {
 	bounds  []int // shard i owns global devices [bounds[i], bounds[i+1])
 	cache   *reap.SolveCache
 	limiter *limiter
+	store   *journal.Store // nil when journaling is off
+	gate    *resilience.Gate
+	chaos   *resilience.Chaos // nil when chaos is off
 
 	draining atomic.Bool
 
@@ -79,21 +126,37 @@ type Service struct {
 	batchItems  atomic.Uint64
 	steps       atomic.Uint64
 	reports     atomic.Uint64
+	alphaSets   atomic.Uint64
 	rateLimited atomic.Uint64
+	panics      atomic.Uint64
+
+	// appendsAtCompact is the journal's appended-count as of the last
+	// compaction — the maintenance loop compacts again SnapshotEvery
+	// appends later.
+	appendsAtCompact atomic.Uint64
+
+	stop      chan struct{} // closes to stop the maintenance loop
+	closeOnce sync.Once
+	closeErr  error
 
 	// testHookSolve, when set, runs inside the solve handler between
 	// admission and the solve itself — the seam the drain test uses to
-	// hold a request in flight deterministically.
-	testHookSolve func()
+	// hold a request in flight deterministically. testHookReport runs
+	// inside the shard critical section of every report apply — the
+	// seam the quarantine tests use to panic where it hurts.
+	testHookSolve  func()
+	testHookReport func()
 }
 
 // shard is one partition of the owned fleet: a reap.Fleet plus the
 // mutex that serializes stateful access to it (Controller sessions are
-// not safe for concurrent stepping).
+// not safe for concurrent stepping) and the breaker that quarantines
+// the shard when its handlers keep panicking.
 type shard struct {
-	mu    sync.Mutex
-	fleet *reap.Fleet
-	lo    int
+	mu      sync.Mutex
+	fleet   *reap.Fleet
+	lo, hi  int
+	breaker *resilience.Breaker
 }
 
 // New builds the sharded service. Every shard's fleet shares one solve
@@ -110,7 +173,23 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Shards > cfg.Devices {
 		cfg.Shards = cfg.Devices
 	}
+	switch cfg.FsyncPolicy {
+	case "":
+		cfg.FsyncPolicy = FsyncInterval
+	case FsyncAlways, FsyncInterval, FsyncNever:
+	default:
+		return nil, fmt.Errorf("%w: unknown fsync policy %q (want %s, %s or %s)",
+			reap.ErrInvalidConfig, cfg.FsyncPolicy, FsyncAlways, FsyncInterval, FsyncNever)
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = 100 * time.Millisecond
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 4096
+	}
 	s := &Service{cfg: cfg}
+	s.gate = resilience.NewGate(cfg.MaxInflight)
+	s.chaos = resilience.NewChaos(cfg.Chaos)
 
 	opts := []reap.Option{reap.WithBattery(cfg.BatteryJ, cfg.CapacityJ)}
 	if cfg.Solver != "" {
@@ -135,7 +214,8 @@ func New(cfg Config) (*Service, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		s.shards[i] = &shard{fleet: fleet, lo: lo}
+		s.shards[i] = &shard{fleet: fleet, lo: lo, hi: hi,
+			breaker: resilience.NewBreaker(cfg.QuarantineAfter)}
 	}
 
 	if cfg.RatePerSec > 0 {
@@ -145,8 +225,21 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.limiter = newLimiter(cfg.RatePerSec, float64(burst))
 	}
+
+	if cfg.JournalDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, fmt.Errorf("service journal: %w", err)
+		}
+		s.stop = make(chan struct{})
+		resilience.Go("journal-maintenance", s.backgroundPanic, s.maintain)
+	}
 	return s, nil
 }
+
+// backgroundPanic is the recover observer for the service's background
+// goroutines: the panic is counted and the daemon keeps serving (with
+// degraded maintenance) instead of dying.
+func (s *Service) backgroundPanic(string, any) { s.panics.Add(1) }
 
 // Devices returns the number of controller sessions the service owns.
 func (s *Service) Devices() int { return s.cfg.Devices }
@@ -183,16 +276,25 @@ func (s *Service) shardFor(device int) (*shard, error) {
 	return s.shards[i], nil
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes wrapped in the resilience
+// middleware chain (recover → chaos → overload gate → deadline → mux;
+// see middleware.go).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch-solve", s.handleBatchSolve)
 	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/alpha", s.handleAlpha)
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	var h http.Handler = mux
+	h = s.deadlineMiddleware(h)
+	h = s.gateMiddleware(h)
+	if s.chaos != nil {
+		h = s.chaos.Middleware(h)
+	}
+	return s.recoverMiddleware(h)
 }
 
 // admit runs the cross-cutting request gates — drain state, then the
@@ -200,6 +302,7 @@ func (s *Service) Handler() http.Handler {
 // itself when the request may not proceed.
 func (s *Service) admit(w http.ResponseWriter, r *http.Request, cost float64) bool {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeError(w, http.StatusServiceUnavailable,
 			wire.Errorf(wire.CodeDraining, "server is draining"))
 		return false
@@ -318,42 +421,168 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, wire.AsError(err))
 		return
 	}
-	for _, rep := range req.Reports {
-		if werr := s.reportDevice(rep.Device, rep.ConsumedJ); werr != nil {
-			writeError(w, statusFor(werr), werr)
-			return
-		}
+	accepted, werr := s.applyReportBatch(req.Reports)
+	if werr != nil {
+		writeError(w, statusFor(werr), werr)
+		return
 	}
-	s.reports.Add(uint64(len(req.Reports)))
-	writeJSON(w, http.StatusOK, &wire.ReportResponse{V: wire.Version, Accepted: len(req.Reports)})
+	writeJSON(w, http.StatusOK, &wire.ReportResponse{V: wire.Version, Accepted: accepted})
 }
 
+// applyReportBatch applies device reports in request order. Reports are
+// grouped into the longest prefix whose owning shards can be locked in
+// ascending order; a group applies and journals as ONE record while
+// every touched shard lock is held, so the journal's per-shard
+// subsequence still matches apply order and a sorted gateway batch —
+// the common case — costs one append total instead of one per shard
+// run (the difference between ~90% and <15% journaling overhead, see
+// BenchmarkReportPath). On failure the applied-and-journaled prefix
+// stays applied; the error names the report that stopped the batch.
+func (s *Service) applyReportBatch(reports []wire.DeviceReport) (int, *wire.Error) {
+	accepted := 0
+	for accepted < len(reports) {
+		n, werr := s.reportGroup(reports[accepted:])
+		accepted += n
+		if werr != nil {
+			return accepted, werr
+		}
+		if n == 0 {
+			// A group always applies at least one report or errors;
+			// refuse to spin if that invariant ever breaks.
+			return accepted, wire.Errorf(wire.CodeInternal, "report batch made no progress")
+		}
+	}
+	return accepted, nil
+}
+
+// reportGroup applies the longest applicable prefix of reports, locking
+// each newly-touched shard in ascending index order and holding all of
+// them until the applied prefix is journaled as one record. A group
+// ends at a report owned by a lower-indexed shard not already held
+// (out-of-order batches fall back to multiple groups — ascending
+// acquisition is what keeps concurrent batches and compaction
+// deadlock-free), at a failing report, or at the end of the batch.
+func (s *Service) reportGroup(reports []wire.DeviceReport) (n int, werr *wire.Error) {
+	var held []*shard // ascending by sh.lo; all released below
+	var cur *shard    // shard owning the report being applied — panic attribution
+	defer func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i].mu.Unlock()
+		}
+	}()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		s.panics.Add(1)
+		if cur != nil {
+			cur.breaker.RecordPanic()
+		}
+		werr = wire.Errorf(wire.CodePanic, "shard handler panicked: %v", rec)
+	}()
+	for n < len(reports) {
+		rep := reports[n]
+		sh, err := s.shardFor(rep.Device)
+		if err != nil {
+			werr = wire.AsError(err)
+			break
+		}
+		if !shardHeld(held, sh) {
+			if len(held) > 0 && sh.lo < held[len(held)-1].lo {
+				break // lower-indexed shard: close this group, start the next
+			}
+			if werr = s.checkShard(sh); werr != nil {
+				break
+			}
+			sh.mu.Lock()
+			held = append(held, sh)
+			cur = sh
+			if s.testHookReport != nil {
+				s.testHookReport()
+			}
+		}
+		cur = sh
+		ctl, derr := sh.fleet.Device(rep.Device - sh.lo)
+		if derr != nil {
+			werr = wire.AsError(derr)
+			break
+		}
+		if rerr := ctl.Report(rep.ConsumedJ); rerr != nil {
+			werr = wire.AsError(rerr)
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		s.reports.Add(uint64(n))
+		if jerr := s.journalAppend(&journalEvent{Op: opReport, Reports: reports[:n]}); jerr != nil && werr == nil {
+			werr = jerr
+		}
+	}
+	return n, werr
+}
+
+// shardHeld reports whether sh is among the locks this group holds.
+// Linear scan: groups touch at most a handful of shards.
+func shardHeld(held []*shard, sh *shard) bool {
+	for _, h := range held {
+		if h == sh {
+			return true
+		}
+	}
+	return false
+}
+
+// reportDevice applies one consumption report — the telemetry path's
+// entry into the shared report machinery.
 func (s *Service) reportDevice(device int, consumedJ float64) *wire.Error {
-	sh, err := s.shardFor(device)
-	if err != nil {
-		return wire.AsError(err)
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ctl, derr := sh.fleet.Device(device - sh.lo)
-	if derr != nil {
-		return wire.AsError(derr)
-	}
-	if rerr := ctl.Report(consumedJ); rerr != nil {
-		return wire.AsError(rerr)
+	_, werr := s.applyReportBatch([]wire.DeviceReport{{Device: device, ConsumedJ: consumedJ}})
+	return werr
+}
+
+// checkShard refuses work for a quarantined shard: after
+// QuarantineAfter panics inside its critical sections, the shard's
+// state can no longer be trusted and its devices answer 503 until the
+// process restarts (and replays a journal of only acknowledged,
+// pre-panic mutations).
+func (s *Service) checkShard(sh *shard) *wire.Error {
+	if sh.breaker.Quarantined() {
+		return wire.Errorf(wire.CodeShardQuarantined,
+			"shard owning devices [%d, %d) is quarantined after repeated panics", sh.lo, sh.hi)
 	}
 	return nil
 }
 
+// recoverShard is the deferred recover boundary for shard critical
+// sections: a panic is counted against the service and the shard's
+// breaker, converted into a 500/CodePanic wire error, and the shard
+// lock still releases normally via its own deferred unlock.
+func (s *Service) recoverShard(sh *shard, werr **wire.Error) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	s.panics.Add(1)
+	sh.breaker.RecordPanic()
+	*werr = wire.Errorf(wire.CodePanic,
+		"shard handler panicked: %v", rec)
+}
+
 // stepDevice plans one owned device's next period from its reported
-// harvest, under its shard's lock.
-func (s *Service) stepDevice(ctx context.Context, device int, harvestJ float64) (reap.Allocation, reap.Config, *wire.Error) {
+// harvest, under its shard's lock, journaling the successful step
+// before it is acknowledged.
+func (s *Service) stepDevice(ctx context.Context, device int, harvestJ float64) (alloc reap.Allocation, cfg reap.Config, werr *wire.Error) {
 	sh, err := s.shardFor(device)
 	if err != nil {
 		return reap.Allocation{}, reap.Config{}, wire.AsError(err)
 	}
+	if werr := s.checkShard(sh); werr != nil {
+		return reap.Allocation{}, reap.Config{}, werr
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer s.recoverShard(sh, &werr)
 	ctl, derr := sh.fleet.Device(device - sh.lo)
 	if derr != nil {
 		return reap.Allocation{}, reap.Config{}, wire.AsError(derr)
@@ -362,7 +591,55 @@ func (s *Service) stepDevice(ctx context.Context, device int, harvestJ float64) 
 	if serr != nil {
 		return reap.Allocation{}, reap.Config{}, wire.AsError(serr)
 	}
+	s.steps.Add(1)
+	if jerr := s.journalAppend(&journalEvent{Op: opStep, Device: device, HarvestJ: &harvestJ}); jerr != nil {
+		return reap.Allocation{}, reap.Config{}, jerr
+	}
 	return alloc, ctl.Config(), nil
+}
+
+func (s *Service) handleAlpha(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 0) { // config changes are rare: drain-gated only
+		return
+	}
+	var req wire.AlphaRequest
+	if err := wire.DecodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if err := wire.CheckVersion(req.V); err != nil {
+		writeError(w, http.StatusBadRequest, wire.AsError(err))
+		return
+	}
+	if werr := s.setAlpha(req.Device, req.Alpha); werr != nil {
+		writeError(w, statusFor(werr), werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, &wire.AlphaResponse{V: wire.Version, Device: req.Device, Alpha: req.Alpha})
+}
+
+// setAlpha re-weights one device's accuracy-time objective, journaled
+// like every other mutation.
+func (s *Service) setAlpha(device int, alpha float64) (werr *wire.Error) {
+	sh, err := s.shardFor(device)
+	if err != nil {
+		return wire.AsError(err)
+	}
+	if werr := s.checkShard(sh); werr != nil {
+		return werr
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	defer s.recoverShard(sh, &werr)
+	ctl, derr := sh.fleet.Device(device - sh.lo)
+	if derr != nil {
+		return wire.AsError(derr)
+	}
+	if serr := ctl.SetAlpha(alpha); serr != nil {
+		return wire.AsError(serr)
+	}
+	s.alphaSets.Add(1)
+	return s.journalAppend(&journalEvent{Op: opAlpha, Device: device, Alpha: &alpha})
 }
 
 // handleTelemetry is the streaming ingest endpoint: NDJSON
@@ -385,6 +662,7 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Split(scanCompleteLines)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -402,6 +680,26 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 			return // finish current event, then close the stream
 		}
 	}
+}
+
+// scanCompleteLines is bufio.ScanLines minus its end-of-input special
+// case: only newline-terminated lines are events. A client that dies
+// mid-line leaves an unterminated tail, and treating that fragment as
+// an event (as ScanLines would) turns every abrupt disconnect into a
+// spurious malformed-event result; the fragment is dropped instead.
+func scanCompleteLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line := data[:i]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		return i + 1, line, nil
+	}
+	if atEOF {
+		// Unterminated tail: consume without emitting.
+		return len(data), nil, nil
+	}
+	return 0, nil, nil
 }
 
 // telemetryEvent processes one NDJSON line: strict decode, version and
@@ -433,7 +731,6 @@ func (s *Service) telemetryEvent(ctx context.Context, tenant string, line []byte
 			res.Error = werr
 			return res
 		}
-		s.reports.Add(1)
 	}
 	if ev.HarvestJ != nil {
 		alloc, _, werr := s.stepDevice(ctx, ev.Device, *ev.HarvestJ)
@@ -443,7 +740,6 @@ func (s *Service) telemetryEvent(ctx context.Context, tenant string, line []byte
 		}
 		wa := wire.FromAllocation(alloc)
 		res.Allocation = &wa
-		s.steps.Add(1)
 	}
 	return res
 }
@@ -466,24 +762,55 @@ func (s *Service) Stats() *wire.StatsResponse {
 		BatchItems:  s.batchItems.Load(),
 		Steps:       s.steps.Load(),
 		Reports:     s.reports.Load(),
+		AlphaSets:   s.alphaSets.Load(),
 		RateLimited: s.rateLimited.Load(),
+		Shed:        s.gate.Shed(),
+		Panics:      s.panics.Load(),
 		Draining:    s.draining.Load(),
+	}
+	// TotalBatteryJ is the reconciliation handle for crash tests and
+	// operators alike: one number that moves with every journaled
+	// mutation, summed under the shard locks.
+	for _, sh := range s.shards {
+		if sh.breaker.Quarantined() {
+			resp.ShardsQuarantined++
+		}
+		sh.mu.Lock()
+		for local := 0; local < sh.hi-sh.lo; local++ {
+			if ctl, err := sh.fleet.Device(local); err == nil {
+				resp.TotalBatteryJ += ctl.Battery()
+			}
+		}
+		sh.mu.Unlock()
 	}
 	// All shards share one cache, so any shard's fleet answers for the
 	// daemon; a plan-direct fleet answers ok=false and Cache stays nil.
 	if stats, ok := s.shards[0].fleet.CacheStats(); ok {
 		resp.Cache = wire.FromCacheStats(stats)
 	}
+	if s.store != nil {
+		js := s.store.Stats()
+		resp.Journal = &wire.JournalStats{
+			Seq:         js.Seq,
+			SnapshotSeq: js.SnapshotSeq,
+			Replayed:    js.Replayed,
+			Appended:    js.Appended,
+			TornTail:    js.TornTail,
+			Compactions: js.Compactions,
+			FsyncPolicy: s.cfg.FsyncPolicy,
+		}
+	}
 	return resp
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable,
+			&wire.HealthzResponse{V: wire.Version, Status: wire.HealthDraining})
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, &wire.HealthzResponse{V: wire.Version, Status: wire.HealthOK})
 }
 
 // statusFor maps wire error codes onto HTTP statuses.
@@ -494,8 +821,10 @@ func statusFor(e *wire.Error) int {
 		return http.StatusBadRequest
 	case wire.CodeRateLimited:
 		return http.StatusTooManyRequests
-	case wire.CodeDraining:
+	case wire.CodeDraining, wire.CodeOverloaded, wire.CodeShardQuarantined:
 		return http.StatusServiceUnavailable
+	case wire.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
 	case wire.CodeInfeasible, wire.CodeSolverFailure:
 		return http.StatusUnprocessableEntity
 	default:

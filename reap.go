@@ -93,6 +93,10 @@ type (
 	// Controller is the runtime loop: budget in, schedule out, consumed
 	// energy back in.
 	Controller = core.Controller
+	// ControllerState is a Controller's serializable mutable state —
+	// the unit of reapd's crash-safe snapshots (Controller.State /
+	// Controller.Restore).
+	ControllerState = core.ControllerState
 	// Region classifies budgets into the paper's Figure 5 regimes.
 	Region = core.Region
 )

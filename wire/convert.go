@@ -29,7 +29,9 @@ func CodeForError(err error) string {
 		return CodeSolverFailure
 	case errors.Is(err, reap.ErrInvalidConfig):
 		return CodeInvalidConfig
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
 		return CodeDraining
 	default:
 		return CodeInternal

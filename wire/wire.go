@@ -194,22 +194,86 @@ type TelemetryResult struct {
 	Error      *Error      `json:"error,omitempty"`
 }
 
+// AlphaRequest changes one owned device's accuracy/active-time
+// emphasis at runtime: POST /v1/alpha. It is a state-mutating request,
+// journaled like reports and telemetry steps.
+type AlphaRequest struct {
+	V      int     `json:"v"`
+	Device int     `json:"device"`
+	Alpha  float64 `json:"alpha"`
+}
+
+// AlphaResponse acknowledges an AlphaRequest.
+type AlphaResponse struct {
+	V      int     `json:"v"`
+	Device int     `json:"device"`
+	Alpha  float64 `json:"alpha"`
+}
+
 // StatsResponse is GET /v1/stats: service-level counters and, when the
 // fleet runs with an opted-in solve cache, its statistics. Cache is nil
 // when no cache is configured — distinct from a configured-but-cold
-// cache, whose counters are present and zero.
+// cache, whose counters are present and zero. Journal is nil when the
+// daemon runs without crash-safe state.
 type StatsResponse struct {
-	V           int         `json:"v"`
-	Devices     int         `json:"devices"`
-	Shards      int         `json:"shards"`
-	Solves      uint64      `json:"solves"`
-	BatchItems  uint64      `json:"batch_items"`
-	Steps       uint64      `json:"steps"`
-	Reports     uint64      `json:"reports"`
-	RateLimited uint64      `json:"rate_limited"`
-	Draining    bool        `json:"draining"`
-	Cache       *CacheStats `json:"cache,omitempty"`
+	V           int    `json:"v"`
+	Devices     int    `json:"devices"`
+	Shards      int    `json:"shards"`
+	Solves      uint64 `json:"solves"`
+	BatchItems  uint64 `json:"batch_items"`
+	Steps       uint64 `json:"steps"`
+	Reports     uint64 `json:"reports"`
+	AlphaSets   uint64 `json:"alpha_sets"`
+	RateLimited uint64 `json:"rate_limited"`
+	// Shed counts requests refused by queue-depth admission before any
+	// work was done (503 + Retry-After, CodeOverloaded).
+	Shed uint64 `json:"shed"`
+	// Panics counts handler panics converted to responses by the
+	// recover boundary; ShardsQuarantined counts shards refusing work
+	// after repeated panics.
+	Panics            uint64 `json:"panics"`
+	ShardsQuarantined int    `json:"shards_quarantined"`
+	// TotalBatteryJ sums every owned device's battery charge — the
+	// fleet aggregate that must reconcile across a crash and replay.
+	TotalBatteryJ float64       `json:"total_battery_j"`
+	Draining      bool          `json:"draining"`
+	Cache         *CacheStats   `json:"cache,omitempty"`
+	Journal       *JournalStats `json:"journal,omitempty"`
 }
+
+// JournalStats mirrors the write-ahead journal's counters on the wire.
+type JournalStats struct {
+	// Seq is the total number of state-mutating events in history.
+	Seq uint64 `json:"seq"`
+	// SnapshotSeq is the event count covered by the newest snapshot.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Replayed counts events re-applied at boot; Appended counts
+	// events logged since.
+	Replayed uint64 `json:"replayed"`
+	Appended uint64 `json:"appended"`
+	// TornTail reports that boot truncated a torn journal tail.
+	TornTail bool `json:"torn_tail"`
+	// Compactions counts snapshots written since boot.
+	Compactions uint64 `json:"compactions"`
+	// FsyncPolicy names the configured durability policy: "always",
+	// "interval" or "never".
+	FsyncPolicy string `json:"fsync_policy"`
+}
+
+// HealthzResponse is the GET /healthz body. Status is machine-readable
+// so orchestrators can tell a draining daemon (which will exit soon and
+// must stop receiving traffic, 503) from a dead one (no answer at all):
+// "ok" or "draining".
+type HealthzResponse struct {
+	V      int    `json:"v"`
+	Status string `json:"status"`
+}
+
+// Healthz status values.
+const (
+	HealthOK       = "ok"
+	HealthDraining = "draining"
+)
 
 // CacheStats mirrors the solve cache's counters on the wire.
 type CacheStats struct {
@@ -252,6 +316,18 @@ const (
 	// CodeDraining: the server is shutting down and no longer admits
 	// new work.
 	CodeDraining = "draining"
+	// CodeDeadlineExceeded: the request's deadline (X-Deadline-Ms,
+	// capped by server policy) expired before the work finished.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeOverloaded: queue-depth admission shed the request before any
+	// work was done; retry after the Retry-After header's delay.
+	CodeOverloaded = "overloaded"
+	// CodePanic: the handler panicked; the recover boundary converted
+	// it into this response instead of crashing the daemon.
+	CodePanic = "panic"
+	// CodeShardQuarantined: the shard owning the requested device is
+	// quarantined after repeated panics; other shards still serve.
+	CodeShardQuarantined = "shard_quarantined"
 	// CodeInternal: any failure the taxonomy does not classify.
 	CodeInternal = "internal"
 )

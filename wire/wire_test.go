@@ -74,9 +74,14 @@ func TestRoundTrip(t *testing.T) {
 		}, &wire.TelemetryResult{}},
 		{"stats_response", &wire.StatsResponse{
 			V: wire.Version, Devices: 1024, Shards: 8, Solves: 10, Steps: 3,
-			Reports: 2, RateLimited: 1, Draining: true,
-			Cache: &wire.CacheStats{Hits: 5, Misses: 1, Entries: 1, Capacity: 64},
+			Reports: 2, AlphaSets: 1, RateLimited: 1, Shed: 4, Panics: 2,
+			ShardsQuarantined: 1, TotalBatteryJ: 512.5, Draining: true,
+			Cache:   &wire.CacheStats{Hits: 5, Misses: 1, Entries: 1, Capacity: 64},
+			Journal: &wire.JournalStats{Seq: 42, SnapshotSeq: 30, Replayed: 12, Appended: 5, TornTail: true, Compactions: 2, FsyncPolicy: "interval"},
 		}, &wire.StatsResponse{}},
+		{"alpha_request", &wire.AlphaRequest{V: wire.Version, Device: 9, Alpha: 0.5}, &wire.AlphaRequest{}},
+		{"alpha_response", &wire.AlphaResponse{V: wire.Version, Device: 9, Alpha: 0.5}, &wire.AlphaResponse{}},
+		{"healthz_response", &wire.HealthzResponse{V: wire.Version, Status: wire.HealthDraining}, &wire.HealthzResponse{}},
 		{"error_response", &wire.ErrorResponse{
 			V:     wire.Version,
 			Error: wire.Error{Code: wire.CodeRateLimited, Message: "tenant over budget"},
@@ -148,6 +153,8 @@ func TestCodeForError(t *testing.T) {
 		{fmt.Errorf("wrapped: %w", reap.ErrSolverFailure), wire.CodeSolverFailure},
 		{fmt.Errorf("wrapped: %w", reap.ErrUnknownSolver), wire.CodeUnknownSolver},
 		{context.Canceled, wire.CodeDraining},
+		{context.DeadlineExceeded, wire.CodeDeadlineExceeded},
+		{fmt.Errorf("solve: %w", context.DeadlineExceeded), wire.CodeDeadlineExceeded},
 		{errors.New("mystery"), wire.CodeInternal},
 	}
 	for _, tc := range cases {
