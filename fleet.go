@@ -33,6 +33,14 @@ type Fleet struct {
 	workers int
 	cache   *SolveCache
 
+	// active is the membership mask for mid-run churn (SetActive): nil
+	// means every device participates, the common case, so fleets that
+	// never churn pay nothing for the feature. An inactive device is
+	// skipped by StepAll (zero Allocation, no battery or accounting
+	// mutation) and by ReportAll — its controller state freezes until it
+	// rejoins.
+	active []bool
+
 	// errs and started are stepAllInto's per-tick scratch, hoisted here so
 	// a steady-state fleet tick allocates nothing. StepAll/Run are
 	// documented as not concurrency-safe with themselves, so one scratch
@@ -115,6 +123,55 @@ func (f *Fleet) Device(i int) (*Controller, error) {
 	return f.ctls[i], nil
 }
 
+// SetActive changes device i's fleet membership mid-run — the churn
+// seam for devices joining and leaving a live fleet. An inactive device
+// is not stepped (StepAll returns the zero Allocation for it) and not
+// reported to (ReportAll ignores its entry), so its battery and
+// accounting state freeze exactly where they were; reactivating resumes
+// from that state, the way a provisioned device coming back online
+// resumes from its last-known charge. Out-of-range indices return an
+// error wrapping ErrInvalidConfig. Like StepAll, SetActive is not safe
+// to call concurrently with a step in flight.
+func (f *Fleet) SetActive(i int, active bool) error {
+	if i < 0 || i >= len(f.ctls) {
+		return fmt.Errorf("%w: device %d out of range [0, %d)", ErrInvalidConfig, i, len(f.ctls))
+	}
+	if f.active == nil {
+		if active {
+			return nil // all devices are active by default
+		}
+		f.active = make([]bool, len(f.ctls))
+		for j := range f.active {
+			f.active[j] = true
+		}
+	}
+	f.active[i] = active
+	return nil
+}
+
+// Active reports whether device i currently participates in fleet
+// steps; devices outside the fleet are never active.
+func (f *Fleet) Active(i int) bool {
+	if i < 0 || i >= len(f.ctls) {
+		return false
+	}
+	return f.active == nil || f.active[i]
+}
+
+// ActiveCount returns the number of participating devices.
+func (f *Fleet) ActiveCount() int {
+	if f.active == nil {
+		return len(f.ctls)
+	}
+	n := 0
+	for _, a := range f.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
 // CacheStats snapshots the fleet's shared solve cache; ok is false when
 // the fleet solves without one (the default) — callers must branch on
 // ok to tell "no cache configured" from "cache configured but cold",
@@ -164,6 +221,10 @@ func (f *Fleet) stepAllInto(ctx context.Context, budgets []float64, allocs []All
 				break
 			}
 			started[i] = true
+			if f.active != nil && !f.active[i] {
+				allocs[i] = Allocation{}
+				continue
+			}
 			if err := f.ctls[i].StepInto(ctx, budgets[i], &allocs[i]); err != nil {
 				errs[i] = fmt.Errorf("device %d: %w", i, err) //lint:reapvet hotalloc -- cold error path
 			}
@@ -171,6 +232,10 @@ func (f *Fleet) stepAllInto(ctx context.Context, budgets []float64, allocs []All
 	} else {
 		f.run(ctx, len(f.ctls), func(i int) { //lint:reapvet hotalloc -- one closure per multi-worker tick, not per device
 			started[i] = true
+			if f.active != nil && !f.active[i] {
+				allocs[i] = Allocation{}
+				return
+			}
 			if err := f.ctls[i].StepInto(ctx, budgets[i], &allocs[i]); err != nil {
 				errs[i] = fmt.Errorf("device %d: %w", i, err) //lint:reapvet hotalloc -- cold error path
 			}
@@ -189,12 +254,17 @@ func (f *Fleet) stepAllInto(ctx context.Context, budgets []float64, allocs []All
 
 // ReportAll closes the feedback loop for every device: consumed[i] is the
 // energy device i actually spent during the period StepAll last planned.
+// Inactive devices (SetActive) are skipped — they executed nothing, so
+// their entry is ignored rather than booked as a zero-consumption period.
 func (f *Fleet) ReportAll(consumed []float64) error {
 	if len(consumed) != len(f.ctls) {
 		return fmt.Errorf("%w: %d reports for %d devices", ErrInvalidConfig, len(consumed), len(f.ctls))
 	}
 	errs := make([]error, len(f.ctls))
 	for i, ctl := range f.ctls {
+		if f.active != nil && !f.active[i] {
+			continue
+		}
 		if err := ctl.Report(consumed[i]); err != nil {
 			errs[i] = fmt.Errorf("device %d: %w", i, err)
 		}

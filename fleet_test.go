@@ -464,3 +464,81 @@ func TestSolveBatchBadOption(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetSetActive covers the churn seam: inactive devices get the
+// zero allocation from StepAll, are skipped by ReportAll (battery and
+// accounting frozen), and resume exactly where they left off.
+func TestFleetSetActive(t *testing.T) {
+	ctx := context.Background()
+	fleet, err := NewFleet(3, WithBattery(20, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fleet.ActiveCount(); n != 3 {
+		t.Fatalf("fresh fleet has %d active devices, want 3", n)
+	}
+	if !fleet.Active(0) || fleet.Active(-1) || fleet.Active(3) {
+		t.Fatal("activity of fresh fleet / out-of-range devices misreported")
+	}
+	if err := fleet.SetActive(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Active(1) || fleet.ActiveCount() != 2 {
+		t.Fatalf("device 1 still counted active after SetActive(false)")
+	}
+	if err := fleet.SetActive(3, false); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("out-of-range SetActive: got %v, want ErrInvalidConfig", err)
+	}
+
+	dev1, err := fleet.Device(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dev1.Battery()
+
+	budgets := []float64{5, 5, 5}
+	allocs, err := fleet.StepAll(ctx, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (Allocation{}); len(allocs[1].Active) != 0 || allocs[1].Off != got.Off || allocs[1].Dead != got.Dead {
+		t.Fatalf("inactive device planned %+v, want zero allocation", allocs[1])
+	}
+	if len(allocs[0].Active) == 0 && allocs[0].Off == 0 && allocs[0].Dead == 0 {
+		t.Fatal("active device 0 got a zero allocation")
+	}
+	if err := fleet.ReportAll([]float64{4, 999, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if after := dev1.Battery(); after != before {
+		t.Fatalf("inactive device's battery moved: %v -> %v", before, after)
+	}
+
+	// Reactivation resumes from the frozen state.
+	if err := fleet.SetActive(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.ActiveCount() != 3 {
+		t.Fatal("reactivated device not counted")
+	}
+	allocs, err = fleet.StepAll(ctx, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs[1].Active) == 0 && allocs[1].Off == 0 && allocs[1].Dead == 0 {
+		t.Fatal("reactivated device still got the zero allocation")
+	}
+
+	// SetActive(true) on a fleet that never churned stays nil-masked
+	// (the zero-cost hot path) and is a no-op.
+	fresh, err := NewFleet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.SetActive(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ActiveCount() != 2 {
+		t.Fatal("no-op SetActive(true) changed membership")
+	}
+}

@@ -33,13 +33,14 @@ var scoped = map[string]bool{
 	"repro":               true,
 	"repro/internal/core": true,
 	"repro/internal/lp":   true,
+	"repro/sim":           true,
 }
 
 // Analyzer enforces sentinel wrapping at the public boundary.
 var Analyzer = &analysis.Analyzer{
 	Name: "errtaxonomy",
-	Doc: "errors returned by exported functions of repro, internal/core and " +
-		"internal/lp must wrap a sentinel via %w so errors.Is keeps working",
+	Doc: "errors returned by exported functions of repro, internal/core, " +
+		"internal/lp and sim must wrap a sentinel via %w so errors.Is keeps working",
 	Run: run,
 }
 

@@ -307,3 +307,51 @@ func TestBatteryAllocatorValidation(t *testing.T) {
 		}
 	}
 }
+
+// The region seed seam: an empty region must reproduce the canonical
+// weather stream exactly (legacy traces cannot move), while distinct
+// region names must decorrelate the weather without touching the
+// clear-sky geometry.
+func TestRegionWeatherSeed(t *testing.T) {
+	month, year := 6, 2016
+	if got, want := RegionWeatherSeed(month, year, ""), WeatherSeed(month, year); got != want {
+		t.Fatalf("empty region seed %d != canonical seed %d", got, want)
+	}
+	if RegionWeatherSeed(month, year, "oslo") == RegionWeatherSeed(month, year, "lisbon") {
+		t.Fatal("distinct regions share a weather seed")
+	}
+	if RegionWeatherSeed(month, year, "oslo") == WeatherSeed(month, year) {
+		t.Fatal("named region collides with the canonical stream")
+	}
+	// Same region, different month: the seed must move with the calendar.
+	if RegionWeatherSeed(6, year, "oslo") == RegionWeatherSeed(7, year, "oslo") {
+		t.Fatal("region seed ignores the month")
+	}
+
+	base, err := MonthlyTrace(month, year, DefaultCell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := MonthlyTraceSeeded(month, year, DefaultCell(), RegionWeatherSeed(month, year, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range base.Hours {
+		if base.Hours[h] != same.Hours[h] || base.Skies[h] != same.Skies[h] {
+			t.Fatalf("hour %d: empty-region trace diverged from MonthlyTrace", h)
+		}
+	}
+	other, err := MonthlyTraceSeeded(month, year, DefaultCell(), RegionWeatherSeed(month, year, "oslo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for h := range base.Hours {
+		if base.Skies[h] != other.Skies[h] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("named region produced the canonical sky sequence")
+	}
+}

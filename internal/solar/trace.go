@@ -21,13 +21,48 @@ type Trace struct {
 // (month, year, cell) always produces the same trace — the year acts as
 // the weather seed, standing in for the paper's measured 2015–2018 record.
 func MonthlyTrace(month, year int, cell Cell) (*Trace, error) {
+	return MonthlyTraceSeeded(month, year, cell, WeatherSeed(month, year))
+}
+
+// WeatherSeed is the canonical weather seed MonthlyTrace derives from a
+// (month, year) pair. Exposed so callers composing regional variants
+// (RegionWeatherSeed) stay anchored to the same base stream.
+func WeatherSeed(month, year int) int64 {
+	return int64(year)*100 + int64(month)
+}
+
+// RegionWeatherSeed derives a per-region weather seed: the canonical
+// (month, year) seed salted with a hash of the region name. Distinct
+// regions under the same calendar month get independent — but each
+// individually deterministic — Markov sky sequences, the seam
+// geographic fleet scenarios build on. The empty region name maps to
+// the canonical seed, so "no region" and "one unnamed region" harvest
+// identically.
+func RegionWeatherSeed(month, year int, region string) int64 {
+	base := WeatherSeed(month, year)
+	if region == "" {
+		return base
+	}
+	// FNV-1a over the region name, folded into the base seed.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(region); i++ {
+		h ^= uint64(region[i])
+		h *= 1099511628211
+	}
+	return base ^ int64(h)
+}
+
+// MonthlyTraceSeeded is MonthlyTrace with an explicit weather seed —
+// the geographic seam: regions share the clear-sky geometry and cell
+// model but run their own correlated cloud process.
+func MonthlyTraceSeeded(month, year int, cell Cell, weatherSeed int64) (*Trace, error) {
 	if err := validateMonth(month); err != nil {
 		return nil, err
 	}
 	if err := cell.Validate(); err != nil {
 		return nil, err
 	}
-	w := NewWeather(int64(year)*100 + int64(month))
+	w := NewWeather(weatherSeed)
 	tr := &Trace{Month: month, Year: year}
 	for day := 1; day <= DaysInMonth(month); day++ {
 		for hour := 0; hour < 24; hour++ {

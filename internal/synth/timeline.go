@@ -117,6 +117,17 @@ func (tl *Timeline) NextLabel() Activity {
 	return tl.current
 }
 
+// Skip advances the stream n windows without returning labels — the
+// churn seam: a device that leaves the fleet stops observing its user,
+// but the user keeps living, so when the device rejoins the timeline
+// must have moved on to the right hour of day (and the right point in
+// the bout state machine), not frozen at the hour it left.
+func (tl *Timeline) Skip(n int) {
+	for i := 0; i < n; i++ {
+		tl.NextLabel()
+	}
+}
+
 // Hour returns the current hour of day.
 func (tl *Timeline) Hour() int { return tl.hour }
 

@@ -158,3 +158,31 @@ func TestDayGeneratesFullStream(t *testing.T) {
 		}
 	}
 }
+
+// Skip must advance the stream exactly as n NextLabel calls would — the
+// churn seam: a device that was offline for an hour rejoins a user who
+// kept living through it.
+func TestTimelineSkipAdvancesLikeNext(t *testing.T) {
+	user := NewUserProfile(3, 99)
+	a, err := NewTimeline(user, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTimeline(user, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < WindowsPerHour; i++ {
+		a.NextLabel()
+	}
+	b.Skip(WindowsPerHour)
+	for i := 0; i < 3*WindowsPerHour; i++ {
+		if la, lb := a.NextLabel(), b.NextLabel(); la != lb {
+			t.Fatalf("window %d after skip: %v vs %v", i, la, lb)
+		}
+	}
+	b.Skip(0) // no-op
+	if la, lb := a.NextLabel(), b.NextLabel(); la != lb {
+		t.Fatalf("Skip(0) advanced the stream: %v vs %v", la, lb)
+	}
+}

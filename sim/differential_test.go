@@ -48,7 +48,7 @@ func allocOf(r *StepRecord) reap.Allocation {
 	return reap.Allocation{Active: r.Active, Off: r.OffS, Dead: r.DeadS}
 }
 
-// TestDifferentialBackends runs every library scenario through the
+// TestDifferentialBackends runs every corpus scenario through the
 // simplex, enumerate and plan backends, uncached, and requires the
 // closed loops to agree step for step: same LP budgets, same planned
 // energy, same objective, same battery trajectory. Simplex is the
@@ -58,7 +58,7 @@ func allocOf(r *StepRecord) reap.Allocation {
 // horizon.
 func TestDifferentialBackends(t *testing.T) {
 	const tol = 1e-6
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			a := variant(t, sc, reap.SolverSimplex, false, 0)
@@ -97,7 +97,7 @@ func TestDifferentialBackends(t *testing.T) {
 // scenario — the cache layer must be invisible when it does not
 // quantize.
 func TestDifferentialCacheExactMode(t *testing.T) {
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			for _, solver := range []string{reap.SolverSimplex, reap.SolverEnumerate, reap.SolverPlan} {
@@ -133,7 +133,7 @@ func TestDifferentialCachedWithinQuantizationBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			for _, solver := range []string{reap.SolverSimplex, reap.SolverEnumerate, reap.SolverPlan} {
@@ -171,7 +171,7 @@ func TestDifferentialCachedWithinQuantizationBound(t *testing.T) {
 // solve must not visibly move fleet-level utility or the neutrality
 // residual.
 func TestDifferentialSummariesClose(t *testing.T) {
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			uncached := variant(t, sc, reap.SolverSimplex, false, 0)

@@ -20,7 +20,7 @@ import (
 // behavior diff.
 var update = flag.Bool("update", false, "rewrite golden trace files")
 
-// TestGoldenTraces locks every library scenario's trace down
+// TestGoldenTraces locks every corpus scenario's trace down
 // byte-for-byte. Any change to the solvers, the cache, the controller
 // accounting, the harvest/consumption models or the trace encoding
 // shows up here as a diff against testdata/<scenario>.golden.
@@ -29,7 +29,7 @@ var update = flag.Bool("update", false, "rewrite golden trace files")
 // multiply-add); the fixed-point trace encoding leaves ~5·10⁻⁷ of
 // headroom before a last-bit arithmetic difference could flip a digit.
 func TestGoldenTraces(t *testing.T) {
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			res, err := Run(context.Background(), sc)
@@ -78,7 +78,7 @@ func TestGoldenTracesPlanBackend(t *testing.T) {
 		t.Skip("regenerating")
 	}
 	covered := 0
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		if sc.Solver != "" {
 			continue // pinned to a specific backend; not affected by the default
 		}
@@ -104,7 +104,7 @@ func TestGoldenTracesPlanBackend(t *testing.T) {
 		})
 	}
 	if covered == 0 {
-		t.Fatal("no library scenario runs on the default backend")
+		t.Fatal("no corpus scenario runs on the default backend")
 	}
 }
 
@@ -124,14 +124,14 @@ func firstDiff(got, want []byte) string {
 	return fmt.Sprintf("lengths differ: got %d lines, want %d lines", len(g), len(w))
 }
 
-// TestGoldenCoversLibrary fails when a scenario is added to the library
+// TestGoldenCoversCorpus fails when a scenario is added to the corpus
 // without a checked-in golden, or a stale golden lingers after a rename.
-func TestGoldenCoversLibrary(t *testing.T) {
+func TestGoldenCoversCorpus(t *testing.T) {
 	if *update {
 		t.Skip("regenerating")
 	}
 	want := map[string]bool{}
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		want[sc.Name+".golden"] = true
 	}
 	entries, err := os.ReadDir("testdata")
@@ -140,7 +140,7 @@ func TestGoldenCoversLibrary(t *testing.T) {
 	}
 	for _, e := range entries {
 		if !want[e.Name()] {
-			t.Errorf("stale golden %s has no library scenario", e.Name())
+			t.Errorf("stale golden %s has no corpus scenario", e.Name())
 		}
 		delete(want, e.Name())
 	}

@@ -9,7 +9,12 @@ import (
 
 // Summary aggregates a run into the closed-loop metrics the paper's
 // claims are about. All energies are joules summed over the whole fleet
-// and horizon.
+// and horizon. Beyond the fleet-level means, Summary reports full
+// per-device-step distributions (nearest-rank p50/p90/p99, matching
+// cmd/reapload's percentile convention) so a regression confined to the
+// tail — one region starving, one population browning out — cannot hide
+// behind an unchanged mean. The JSON encoding of a Summary is the
+// per-scenario metrics document reapsim emits and CI archives.
 type Summary struct {
 	Devices, Steps int
 
@@ -29,11 +34,28 @@ type Summary struct {
 	// losses, brownout clamping and end-of-horizon accounting carry.
 	NeutralityError float64
 
+	// NeutralityErrDist is the distribution of the per-device-step
+	// neutrality residual |b − c − Δbattery| / max(b, c, 1 nJ) — the
+	// step-local version of NeutralityError, whose p90/p99 expose
+	// overflow and clamping episodes the horizon total averages away.
+	NeutralityErrDist Distribution
+
 	// MeanAccuracy and MeanUtility average the per-device-hour expected
 	// accuracy and its fault-degraded counterpart. ActiveFraction and
-	// DeadFraction are time shares of the whole fleet-horizon.
+	// DeadFraction are time shares of the whole fleet-horizon. Offline
+	// (churned-out) device-hours count as dead time with zero utility —
+	// the fleet-operator's view, not the per-device one.
 	MeanAccuracy, MeanUtility    float64
 	ActiveFraction, DeadFraction float64
+
+	// UtilityDist is the distribution of per-device-step utility.
+	UtilityDist Distribution
+
+	// UtilityHist and NeutralityErrHist bucket the same samples into 20
+	// equal bins over [0, 1] (neutrality residuals above 1 land in the
+	// last bucket), for the per-scenario metrics artifact.
+	UtilityHist       Histogram
+	NeutralityErrHist Histogram
 
 	// FaultCount is the number of injected fault episodes.
 	FaultCount int
@@ -49,10 +71,17 @@ type Summary struct {
 	StepsPerSec float64
 }
 
-// summarize computes the run metrics from the trace and battery
-// endpoints.
-func summarize(res *Result, batteryStart, batteryEnd float64, elapsed time.Duration) Summary {
+// histBuckets is the fixed bucket count of the summary histograms.
+const histBuckets = 20
+
+// summarize computes the run metrics from the trace, the per-device
+// start batteries and the fleet battery endpoint.
+func summarize(res *Result, batteryStarts []float64, batteryEnd float64, elapsed time.Duration) (Summary, error) {
 	t := res.Trace
+	var batteryStart float64
+	for _, b := range batteryStarts {
+		batteryStart += b
+	}
 	s := Summary{
 		Devices:       t.Devices,
 		Steps:         t.Steps,
@@ -62,6 +91,9 @@ func summarize(res *Result, batteryStart, batteryEnd float64, elapsed time.Durat
 		Elapsed:       elapsed,
 	}
 	var periodTotal float64
+	utilities := make([]float64, 0, len(t.Records))
+	residuals := make([]float64, 0, len(t.Records))
+	prevBattery := append([]float64(nil), batteryStarts...)
 	for i := range t.Records {
 		r := &t.Records[i]
 		s.TotalHarvestJ += r.HarvestJ
@@ -80,6 +112,13 @@ func summarize(res *Result, batteryStart, batteryEnd float64, elapsed time.Durat
 		s.ActiveFraction += active
 		s.DeadFraction += r.DeadS
 		periodTotal += res.Configs[r.Device].Period
+
+		utilities = append(utilities, r.Utility)
+		delta := r.BatteryJ - prevBattery[r.Device]
+		prevBattery[r.Device] = r.BatteryJ
+		residual := math.Abs(r.BudgetJ - r.ConsumedJ - delta)
+		denom := math.Max(math.Max(r.BudgetJ, r.ConsumedJ), 1e-9)
+		residuals = append(residuals, residual/denom)
 	}
 	if n := len(t.Records); n > 0 {
 		s.MeanAccuracy /= float64(n)
@@ -92,13 +131,22 @@ func summarize(res *Result, batteryStart, batteryEnd float64, elapsed time.Durat
 	if s.TotalBudgetJ > 0 {
 		s.NeutralityError = math.Abs(s.TotalBudgetJ-s.TotalConsumedJ-(batteryEnd-batteryStart)) / s.TotalBudgetJ
 	}
+	var err error
+	if s.UtilityDist, err = Summarize(utilities); err != nil {
+		return Summary{}, fmt.Errorf("utility distribution: %w", err)
+	}
+	if s.NeutralityErrDist, err = Summarize(residuals); err != nil {
+		return Summary{}, fmt.Errorf("neutrality distribution: %w", err)
+	}
+	s.UtilityHist = NewHistogram(utilities, 0, 1, histBuckets)
+	s.NeutralityErrHist = NewHistogram(residuals, 0, 1, histBuckets)
 	if res.CacheStats != nil {
 		s.CacheHitRate = res.CacheStats.HitRate()
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		s.StepsPerSec = float64(len(t.Records)) / sec
 	}
-	return s
+	return s, nil
 }
 
 // String renders the summary as a small human-readable report.
@@ -109,8 +157,12 @@ func (s Summary) String() string {
 		s.TotalHarvestJ, s.TotalBudgetJ, s.TotalPlannedJ, s.TotalConsumedJ)
 	fmt.Fprintf(&b, "battery: %.2f J -> %.2f J   neutrality error=%.4f\n",
 		s.BatteryStartJ, s.BatteryEndJ, s.NeutralityError)
+	fmt.Fprintf(&b, "neutrality/step: p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
+		s.NeutralityErrDist.P50, s.NeutralityErrDist.P90, s.NeutralityErrDist.P99, s.NeutralityErrDist.Max)
 	fmt.Fprintf(&b, "quality: accuracy=%.4f utility=%.4f active=%.1f%% dead=%.1f%% faults=%d\n",
 		s.MeanAccuracy, s.MeanUtility, 100*s.ActiveFraction, 100*s.DeadFraction, s.FaultCount)
+	fmt.Fprintf(&b, "utility/step: p50=%.4f p90=%.4f p99=%.4f min=%.4f\n",
+		s.UtilityDist.P50, s.UtilityDist.P90, s.UtilityDist.P99, s.UtilityDist.Min)
 	if s.CacheHitRate >= 0 {
 		fmt.Fprintf(&b, "cache: hit rate=%.1f%%\n", 100*s.CacheHitRate)
 	}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"sort"
 
 	"repro"
@@ -80,7 +79,9 @@ func Brownout() Scenario {
 // MixedFleet is a heterogeneous September fleet sharing one solve
 // cache: a third of the devices emphasize active time (α = 0.5), a
 // third emphasize accuracy with bigger batteries (α = 2), and a third
-// run the enumerate backend — distinct cache keys per population.
+// run the enumerate backend — distinct cache keys per population. The
+// populations are declarative, so the scenario round-trips through its
+// config-file form unchanged.
 func MixedFleet() Scenario {
 	return Scenario{
 		Name:         "mixed-fleet",
@@ -96,15 +97,10 @@ func MixedFleet() Scenario {
 		Cache:        true,
 		Noise:        0.04,
 		FaultRate:    0.03,
-		PerDevice: func(i int) []reap.Option {
-			switch i % 3 {
-			case 0:
-				return []reap.Option{reap.WithAlpha(0.5)}
-			case 1:
-				return []reap.Option{reap.WithAlpha(2), reap.WithBattery(30, 150)}
-			default:
-				return []reap.Option{reap.WithSolver(reap.SolverEnumerate)}
-			}
+		Populations: []Population{
+			{Modulus: 3, Residue: 0, Alpha: 0.5},
+			{Modulus: 3, Residue: 1, Alpha: 2, BatteryJ: 30, CapacityJ: 150},
+			{Modulus: 3, Residue: 2, Solver: reap.SolverEnumerate},
 		},
 	}
 }
@@ -131,22 +127,23 @@ func CacheHot() Scenario {
 	}
 }
 
-// Library returns the full scenario library, ordered by name.
+// Library returns the legacy constructor-defined scenario library,
+// ordered by name. The embedded corpus (Corpus) is a superset: these
+// five plus the config-only scenarios; the corpus config files for
+// these five are pinned byte-for-byte against the constructors.
 func Library() []Scenario {
 	lib := []Scenario{ClearMonth(), CloudyBursts(), Brownout(), MixedFleet(), CacheHot()}
 	sort.Slice(lib, func(i, j int) bool { return lib[i].Name < lib[j].Name })
 	return lib
 }
 
-// Lookup returns the library scenario with the given name.
+// Lookup returns the corpus scenario with the given name — the five
+// legacy library scenarios plus every config-defined one. Unknown names
+// return an error wrapping ErrUnknownScenario.
 func Lookup(name string) (Scenario, error) {
-	lib := Library()
-	names := make([]string, len(lib))
-	for i, sc := range lib {
-		if sc.Name == name {
-			return sc, nil
-		}
-		names[i] = sc.Name
+	c, err := Corpus()
+	if err != nil {
+		return Scenario{}, err
 	}
-	return Scenario{}, fmt.Errorf("sim: unknown scenario %q (have %v)", name, names)
+	return c.Lookup(name)
 }

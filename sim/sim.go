@@ -7,7 +7,7 @@
 //
 //   - internal/solar synthesizes the hourly harvest trace (clear-sky
 //     geometry × Markov weather × cell model), scaled and jittered per
-//     device;
+//     device — per region, for geographic fleets;
 //   - internal/forecast optionally turns the trace into EWMA-predicted
 //     budgets, so devices plan on forecasts and absorb prediction error
 //     through the controller's accounting loop;
@@ -17,7 +17,15 @@
 //   - internal/energy prices the hourly fleet-telemetry BLE upload that
 //     rides on top of every powered device's consumption;
 //   - the public Fleet drives one Controller per device through
-//     StepAll/ReportAll via the Fleet.Run closed-loop seam.
+//     StepAll/ReportAll via the Fleet.Run closed-loop seam, including
+//     mid-run membership churn (Fleet.SetActive).
+//
+// Scenarios are data: the canonical definition of a scenario is a
+// versioned, strictly-decoded JSON config (see config.go and the
+// committed corpus under scenarios/), loaded with LoadScenario or
+// through the Corpus API. The Go constructors in scenario.go remain for
+// the five legacy library scenarios and are pinned byte-for-byte
+// against their config-file forms.
 //
 // Determinism: every random draw derives from Scenario.Seed through
 // per-device, per-purpose sub-streams consumed in a fixed order, and the
@@ -46,9 +54,9 @@ import (
 
 // Scenario describes one deterministic simulation: the fleet, the
 // harvest climate, the controller configuration, and the execution
-// realism knobs. The zero value is not runnable; start from a library
-// scenario (Library, Lookup) or fill the fields and let Run apply the
-// documented defaults.
+// realism knobs. The zero value is not runnable; start from a corpus
+// scenario (Corpus, Lookup), a config file (LoadScenario) or fill the
+// fields and let Run apply the documented defaults.
 type Scenario struct {
 	// Name identifies the scenario in traces and reports.
 	Name string
@@ -62,8 +70,12 @@ type Scenario struct {
 	Seed int64
 
 	// Month and Year select the solar trace (internal/solar's Golden, CO
-	// climate; the year seeds the Markov weather).
-	Month, Year int
+	// climate; the year seeds the Markov weather). Months extends the
+	// horizon across that many consecutive calendar months (default 1),
+	// wrapping past December into the next year — the seasonal-drift
+	// seam: Days counts from the start of the span and may cross month
+	// boundaries.
+	Month, Year, Months int
 	// HarvestScale scales every hourly harvest (default 1). DeviceJitter
 	// spreads a per-device multiplicative factor uniformly in
 	// [1-j, 1+j]; zero gives every device an identical harvest, the
@@ -71,12 +83,12 @@ type Scenario struct {
 	HarvestScale, DeviceJitter float64
 
 	// Alpha, BatteryJ, CapacityJ configure every controller (refine per
-	// device with PerDevice). Solver names the registry backend; an
-	// empty Solver resolves to simplex — deliberately pinned, rather
-	// than following reap.DefaultSolver, so golden traces cannot move
-	// when the registry default changes (the golden harness separately
-	// asserts the plan backend reproduces them byte-for-byte). Workers
-	// bounds StepAll's pool (0 = GOMAXPROCS).
+	// device with Populations or PerDevice). Solver names the registry
+	// backend; an empty Solver resolves to simplex — deliberately
+	// pinned, rather than following reap.DefaultSolver, so golden traces
+	// cannot move when the registry default changes (the golden harness
+	// separately asserts the plan backend reproduces them byte-for-byte).
+	// Workers bounds StepAll's pool (0 = GOMAXPROCS).
 	Alpha               float64
 	BatteryJ, CapacityJ float64
 	Solver              string
@@ -106,16 +118,129 @@ type Scenario struct {
 	Noise, FaultRate float64
 	TelemetryBytes   int
 
+	// AgingPerDay models battery aging over long horizons: each elapsed
+	// day inflates realized consumption by a factor (1+AgingPerDay) —
+	// compounding coulombic-efficiency loss, so a months-long run slides
+	// out of energy neutrality unless the controller's accounting
+	// absorbs it. Zero (the default) disables aging; FlatConsumption
+	// runs are exempt (they are the exactness baseline).
+	AgingPerDay float64
+
 	// FlatConsumption makes execution exact: consumed = planned energy
-	// (+ telemetry), no activity modulation, noise or faults. Used by
-	// cache-correlation scenarios, where divergent consumption would
-	// decorrelate budgets, and by differential baselines.
+	// (+ telemetry), no activity modulation, noise, faults or aging.
+	// Used by cache-correlation scenarios, where divergent consumption
+	// would decorrelate budgets, and by differential baselines.
 	FlatConsumption bool
 
+	// Populations declaratively refines subsets of the fleet — the
+	// config-file counterpart of PerDevice: device i takes the overrides
+	// of every population it matches, in order. Mixed-α, mixed-battery
+	// and mixed-backend fleets are expressed this way.
+	Populations []Population
+
+	// Regions partitions the fleet geographically: device i belongs to
+	// Regions[i % len(Regions)]. Each region runs its own deterministic
+	// Markov sky (seeded from the region name) over the same clear-sky
+	// geometry, with a per-region harvest scale. Empty means one
+	// implicit region on the canonical weather stream.
+	Regions []Region
+
+	// Churn schedules mid-run fleet membership changes: at each event's
+	// step, listed devices leave (battery and accounting freeze) or join
+	// (resume from frozen state). A device whose first mention in the
+	// schedule is a join starts the run offline — a provisioned device
+	// that has not yet come online.
+	Churn []ChurnEvent
+
+	// Storm, when non-nil, injects correlated fault storms: fleet-wide
+	// weather windows during which every device's fault probability
+	// jumps to Storm.FaultRate and harvest is scaled by
+	// Storm.HarvestScale — the brownout-cascade regime, where faults and
+	// energy starvation arrive together across the fleet instead of as
+	// independent per-device coin flips.
+	Storm *Storm
+
 	// PerDevice refines device i's options after the fleet-wide ones
-	// (reap.WithDeviceOverride) — mixed-α, mixed-battery or
-	// mixed-backend fleets.
+	// (reap.WithDeviceOverride). Populations is the declarative form;
+	// PerDevice remains for programmatic callers and must not be
+	// combined with Populations.
 	PerDevice func(device int) []reap.Option
+}
+
+// Population selects a subset of the fleet by index arithmetic and
+// overrides its controller configuration. Zero-valued fields inherit
+// the scenario-wide setting.
+type Population struct {
+	// Modulus/Residue select devices i with i % Modulus == Residue;
+	// Modulus 0 selects every device.
+	Modulus, Residue int
+	// Alpha overrides the accuracy/active-time emphasis (0 inherits).
+	Alpha float64
+	// BatteryJ/CapacityJ override the battery (both zero inherits; when
+	// set, CapacityJ must be positive and BatteryJ within it).
+	BatteryJ, CapacityJ float64
+	// Solver overrides the backend ("" inherits).
+	Solver string
+}
+
+// Region is one geographic segment of a fleet: its own deterministic
+// sky sequence (seeded from the name) and harvest scale over the shared
+// clear-sky geometry.
+type Region struct {
+	// Name seeds the region's weather stream and labels it; regions of
+	// one scenario must have distinct names.
+	Name string
+	// HarvestScale multiplies the region's hourly harvest (0 means 1).
+	HarvestScale float64
+}
+
+// ChurnEvent is one scheduled fleet-membership change.
+type ChurnEvent struct {
+	// Step is the hour index (from scenario start) the event applies at,
+	// before budgets are drawn for that hour.
+	Step int
+	// Join and Leave list device indices coming online / going offline.
+	Join, Leave []int
+}
+
+// Storm configures correlated fault storms and brownout cascades. Storm
+// windows are drawn once per run from a dedicated fleet-level seed
+// stream: each hour outside a storm starts one with probability
+// StartRate, lasting DurationHours.
+type Storm struct {
+	// StartRate is the per-hour probability a storm begins.
+	StartRate float64
+	// DurationHours is how long each storm lasts.
+	DurationHours int
+	// FaultRate replaces the scenario fault rate during a storm when it
+	// is larger — correlated episodes across the whole fleet.
+	FaultRate float64
+	// HarvestScale multiplies harvest during a storm (0 means 1); values
+	// below 1 model the cloud bank that arrives with the storm.
+	HarvestScale float64
+}
+
+// months returns the calendar span of the horizon (default 1).
+func (sc Scenario) months() int {
+	if sc.Months <= 0 {
+		return 1
+	}
+	return sc.Months
+}
+
+// spanDays returns the total days available in the scenario's calendar
+// span (non-leap, like solar.DaysInMonth).
+func (sc Scenario) spanDays() int {
+	total := 0
+	m := sc.Month
+	for k := 0; k < sc.months(); k++ {
+		total += solar.DaysInMonth(m)
+		m++
+		if m > 12 {
+			m = 1
+		}
+	}
+	return total
 }
 
 // withDefaults fills the zero-value knobs with the documented defaults.
@@ -147,34 +272,133 @@ func (sc Scenario) withDefaults() Scenario {
 // Validate checks the scenario after defaults are applied.
 func (sc Scenario) Validate() error {
 	if sc.Name == "" {
-		return fmt.Errorf("sim: scenario needs a name")
+		return fmt.Errorf("%w: scenario needs a name", ErrInvalidScenario)
 	}
 	if sc.Devices <= 0 {
-		return fmt.Errorf("sim: %s: %d devices must be positive", sc.Name, sc.Devices)
+		return fmt.Errorf("%w: %s: %d devices must be positive", ErrInvalidScenario, sc.Name, sc.Devices)
 	}
 	if sc.Month < 1 || sc.Month > 12 {
-		return fmt.Errorf("sim: %s: month %d outside 1..12", sc.Name, sc.Month)
+		return fmt.Errorf("%w: %s: month %d outside 1..12", ErrInvalidScenario, sc.Name, sc.Month)
 	}
-	if sc.Days <= 0 || sc.Days > solar.DaysInMonth(sc.Month) {
-		return fmt.Errorf("sim: %s: %d days outside 1..%d (month %d)",
-			sc.Name, sc.Days, solar.DaysInMonth(sc.Month), sc.Month)
+	if sc.Months < 0 || sc.Months > 36 {
+		return fmt.Errorf("%w: %s: months %d outside 0..36", ErrInvalidScenario, sc.Name, sc.Months)
+	}
+	if sc.Days <= 0 || sc.Days > sc.spanDays() {
+		return fmt.Errorf("%w: %s: %d days outside 1..%d (month %d, %d months)",
+			ErrInvalidScenario, sc.Name, sc.Days, sc.spanDays(), sc.Month, sc.months())
 	}
 	if sc.HarvestScale <= 0 || math.IsNaN(sc.HarvestScale) || math.IsInf(sc.HarvestScale, 0) {
-		return fmt.Errorf("sim: %s: harvest scale %v must be positive and finite", sc.Name, sc.HarvestScale)
+		return fmt.Errorf("%w: %s: harvest scale %v must be positive and finite", ErrInvalidScenario, sc.Name, sc.HarvestScale)
 	}
 	if sc.DeviceJitter < 0 || sc.DeviceJitter >= 1 || math.IsNaN(sc.DeviceJitter) {
-		return fmt.Errorf("sim: %s: device jitter %v outside [0,1)", sc.Name, sc.DeviceJitter)
+		return fmt.Errorf("%w: %s: device jitter %v outside [0,1)", ErrInvalidScenario, sc.Name, sc.DeviceJitter)
 	}
 	if sc.Noise < 0 || math.IsNaN(sc.Noise) {
-		return fmt.Errorf("sim: %s: noise %v must be non-negative", sc.Name, sc.Noise)
+		return fmt.Errorf("%w: %s: noise %v must be non-negative", ErrInvalidScenario, sc.Name, sc.Noise)
 	}
 	if sc.FaultRate < 0 || sc.FaultRate > 1 || math.IsNaN(sc.FaultRate) {
-		return fmt.Errorf("sim: %s: fault rate %v outside [0,1]", sc.Name, sc.FaultRate)
+		return fmt.Errorf("%w: %s: fault rate %v outside [0,1]", ErrInvalidScenario, sc.Name, sc.FaultRate)
 	}
 	if sc.TelemetryBytes < 0 {
-		return fmt.Errorf("sim: %s: telemetry payload %d must be non-negative", sc.Name, sc.TelemetryBytes)
+		return fmt.Errorf("%w: %s: telemetry payload %d must be non-negative", ErrInvalidScenario, sc.Name, sc.TelemetryBytes)
+	}
+	if sc.AgingPerDay < 0 || sc.AgingPerDay > 0.1 || math.IsNaN(sc.AgingPerDay) {
+		return fmt.Errorf("%w: %s: aging %v per day outside [0, 0.1]", ErrInvalidScenario, sc.Name, sc.AgingPerDay)
+	}
+	if len(sc.Populations) > 0 && sc.PerDevice != nil {
+		return fmt.Errorf("%w: %s: Populations and PerDevice are mutually exclusive", ErrInvalidScenario, sc.Name)
+	}
+	for pi, p := range sc.Populations {
+		if p.Modulus < 0 || (p.Modulus > 0 && (p.Residue < 0 || p.Residue >= p.Modulus)) {
+			return fmt.Errorf("%w: %s: population %d: residue %d outside [0,%d)",
+				ErrInvalidScenario, sc.Name, pi, p.Residue, p.Modulus)
+		}
+		if p.Alpha < 0 || math.IsNaN(p.Alpha) || math.IsInf(p.Alpha, 0) {
+			return fmt.Errorf("%w: %s: population %d: alpha %v must be non-negative and finite",
+				ErrInvalidScenario, sc.Name, pi, p.Alpha)
+		}
+		if !fpx.Zero(p.BatteryJ) || !fpx.Zero(p.CapacityJ) {
+			if p.CapacityJ <= 0 || p.BatteryJ < 0 || p.BatteryJ > p.CapacityJ {
+				return fmt.Errorf("%w: %s: population %d: battery %v/%v J inconsistent",
+					ErrInvalidScenario, sc.Name, pi, p.BatteryJ, p.CapacityJ)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for ri, r := range sc.Regions {
+		if seen[r.Name] {
+			return fmt.Errorf("%w: %s: duplicate region %q", ErrInvalidScenario, sc.Name, r.Name)
+		}
+		seen[r.Name] = true
+		if r.HarvestScale < 0 || math.IsNaN(r.HarvestScale) || math.IsInf(r.HarvestScale, 0) {
+			return fmt.Errorf("%w: %s: region %d: harvest scale %v must be non-negative and finite",
+				ErrInvalidScenario, sc.Name, ri, r.HarvestScale)
+		}
+	}
+	steps := sc.Days * 24
+	for ei, ev := range sc.Churn {
+		if ev.Step < 0 || ev.Step >= steps {
+			return fmt.Errorf("%w: %s: churn event %d: step %d outside [0,%d)",
+				ErrInvalidScenario, sc.Name, ei, ev.Step, steps)
+		}
+		if ei > 0 && ev.Step < sc.Churn[ei-1].Step {
+			return fmt.Errorf("%w: %s: churn events out of order at %d", ErrInvalidScenario, sc.Name, ei)
+		}
+		for _, d := range append(append([]int(nil), ev.Join...), ev.Leave...) {
+			if d < 0 || d >= sc.Devices {
+				return fmt.Errorf("%w: %s: churn event %d: device %d outside fleet [0,%d)",
+					ErrInvalidScenario, sc.Name, ei, d, sc.Devices)
+			}
+		}
+	}
+	if st := sc.Storm; st != nil {
+		if st.StartRate < 0 || st.StartRate > 1 || math.IsNaN(st.StartRate) {
+			return fmt.Errorf("%w: %s: storm start rate %v outside [0,1]", ErrInvalidScenario, sc.Name, st.StartRate)
+		}
+		if st.StartRate > 0 && st.DurationHours <= 0 {
+			return fmt.Errorf("%w: %s: storm duration %d hours must be positive", ErrInvalidScenario, sc.Name, st.DurationHours)
+		}
+		if st.FaultRate < 0 || st.FaultRate > 1 || math.IsNaN(st.FaultRate) {
+			return fmt.Errorf("%w: %s: storm fault rate %v outside [0,1]", ErrInvalidScenario, sc.Name, st.FaultRate)
+		}
+		if st.HarvestScale < 0 || math.IsNaN(st.HarvestScale) || math.IsInf(st.HarvestScale, 0) {
+			return fmt.Errorf("%w: %s: storm harvest scale %v must be non-negative and finite",
+				ErrInvalidScenario, sc.Name, st.HarvestScale)
+		}
 	}
 	return nil
+}
+
+// perDeviceOverride resolves the per-device option source: the explicit
+// PerDevice hook, or one synthesized from the declarative Populations
+// (overrides applied in population order: alpha, then battery, then
+// solver — each touches a distinct setting, so the order is cosmetic).
+func (sc Scenario) perDeviceOverride() func(int) []reap.Option {
+	if sc.PerDevice != nil {
+		return sc.PerDevice
+	}
+	if len(sc.Populations) == 0 {
+		return nil
+	}
+	pops := sc.Populations
+	return func(i int) []reap.Option {
+		var opts []reap.Option
+		for _, p := range pops {
+			if p.Modulus > 0 && i%p.Modulus != p.Residue {
+				continue
+			}
+			if !fpx.Zero(p.Alpha) {
+				opts = append(opts, reap.WithAlpha(p.Alpha))
+			}
+			if !fpx.Zero(p.BatteryJ) || !fpx.Zero(p.CapacityJ) {
+				opts = append(opts, reap.WithBattery(p.BatteryJ, p.CapacityJ))
+			}
+			if p.Solver != "" {
+				opts = append(opts, reap.WithSolver(p.Solver))
+			}
+		}
+		return opts
+	}
 }
 
 // Result bundles one run's outputs: the fully-defaulted scenario, the
@@ -196,6 +420,7 @@ const (
 	saltTimeline
 	saltNoise
 	saltFault
+	saltStorm
 )
 
 // subSeed derives a per-device, per-purpose seed from the scenario seed
@@ -255,8 +480,9 @@ type simulator struct {
 	fleet *reap.Fleet
 	cfgs  []reap.Config
 
-	hours []float64 // scenario-scaled hourly harvest, shared across devices
-	skies []solar.Sky
+	// hours and skies are per-region: device i reads region i % len.
+	hours [][]float64 // scenario- and region-scaled hourly harvest
+	skies [][]solar.Sky
 
 	jitter    []float64
 	ewma      []*forecast.EWMA
@@ -266,6 +492,15 @@ type simulator struct {
 
 	telemetryJ float64
 
+	// stormMask marks the hours a correlated storm covers; aging holds
+	// the per-day consumption inflation factor. Both nil when unused.
+	stormMask []bool
+	aging     []float64
+
+	// churnIdx walks the (validated, step-ordered) churn schedule as
+	// Budgets advances through the horizon.
+	churnIdx int
+
 	// Per-step scratch, filled by Budgets/Consumed and read by observe.
 	actual    []float64
 	intensity []float64
@@ -274,13 +509,49 @@ type simulator struct {
 	records []StepRecord
 }
 
-// Budgets implements reap.HarvestSource: actual harvest is the shared
-// solar hour scaled per device; the budget handed to the fleet is either
-// that actual value or, under Forecast, the device's EWMA prediction
-// (actuals warm the predictor up during the first day).
+// regionOf maps a device to its region index (round-robin).
+func (s *simulator) regionOf(i int) int { return i % len(s.hours) }
+
+// applyChurn applies every churn event scheduled at the given step.
+func (s *simulator) applyChurn(step int) error {
+	for s.churnIdx < len(s.sc.Churn) && s.sc.Churn[s.churnIdx].Step == step {
+		ev := s.sc.Churn[s.churnIdx]
+		for _, d := range ev.Leave {
+			if err := s.fleet.SetActive(d, false); err != nil {
+				return err
+			}
+		}
+		for _, d := range ev.Join {
+			if err := s.fleet.SetActive(d, true); err != nil {
+				return err
+			}
+		}
+		s.churnIdx++
+	}
+	return nil
+}
+
+// Budgets implements reap.HarvestSource: actual harvest is the device's
+// regional solar hour scaled per device; the budget handed to the fleet
+// is either that actual value or, under Forecast, the device's EWMA
+// prediction (actuals warm the predictor up during the first day).
+// Offline devices (churn) harvest nothing and keep their predictors
+// frozen.
 func (s *simulator) Budgets(step int, dst []float64) error {
-	h := s.hours[step]
+	if err := s.applyChurn(step); err != nil {
+		return err
+	}
+	storm := s.stormMask != nil && s.stormMask[step]
 	for i := range dst {
+		if !s.fleet.Active(i) {
+			s.actual[i] = 0
+			dst[i] = 0
+			continue
+		}
+		h := s.hours[s.regionOf(i)][step]
+		if storm {
+			h *= s.stormHarvestScale()
+		}
 		actual := h * s.jitter[i]
 		s.actual[i] = actual
 		budget := actual
@@ -297,13 +568,34 @@ func (s *simulator) Budgets(step int, dst []float64) error {
 	return nil
 }
 
+// stormHarvestScale resolves the storm's harvest multiplier (0 = 1).
+func (s *simulator) stormHarvestScale() float64 {
+	if s.sc.Storm == nil || fpx.Zero(s.sc.Storm.HarvestScale) {
+		return 1
+	}
+	return s.sc.Storm.HarvestScale
+}
+
 // Consumed implements reap.ConsumptionModel: realized consumption is the
 // planned energy modulated by the hour's activity intensity, execution
-// noise and fault episodes, plus the telemetry upload for powered
-// devices. Under FlatConsumption it is exactly planned (+ telemetry).
+// noise, fault episodes and battery aging, plus the telemetry upload for
+// powered devices. Under FlatConsumption it is exactly planned
+// (+ telemetry). Offline devices consume nothing, but their users keep
+// living: the activity timeline skips the hour so a rejoining device
+// lands at the right time of day.
 func (s *simulator) Consumed(step int, allocs []reap.Allocation, dst []float64) error {
+	storm := s.stormMask != nil && s.stormMask[step]
 	for i := range dst {
 		cfg := s.cfgs[i]
+		s.faults[i] = synth.NoFault
+		if !s.fleet.Active(i) {
+			if s.timelines != nil {
+				s.timelines[i].Skip(synth.WindowsPerHour)
+			}
+			s.intensity[i] = 0
+			dst[i] = 0
+			continue
+		}
 		planned := allocs[i].Energy(cfg)
 		// A device dead for most of the period cannot run its hourly
 		// telemetry upload.
@@ -311,7 +603,6 @@ func (s *simulator) Consumed(step int, allocs []reap.Allocation, dst []float64) 
 		if allocs[i].Dead >= cfg.Period/2 {
 			telemetry = 0
 		}
-		s.faults[i] = synth.NoFault
 		if s.sc.FlatConsumption {
 			s.intensity[i] = 0
 			dst[i] = planned + telemetry
@@ -320,7 +611,11 @@ func (s *simulator) Consumed(step int, allocs []reap.Allocation, dst []float64) 
 		intensity := s.hourIntensity(i)
 		s.intensity[i] = intensity
 		consumed := planned * (0.95 + 0.10*intensity)
-		if s.sc.FaultRate > 0 && s.faultRng[i].Float64() < s.sc.FaultRate {
+		rate := s.sc.FaultRate
+		if storm && s.sc.Storm.FaultRate > rate {
+			rate = s.sc.Storm.FaultRate
+		}
+		if rate > 0 && s.faultRng[i].Float64() < rate {
 			faults := synth.Faults()
 			f := faults[s.faultRng[i].Intn(len(faults))]
 			s.faults[i] = f
@@ -333,6 +628,9 @@ func (s *simulator) Consumed(step int, allocs []reap.Allocation, dst []float64) 
 			consumed *= factor
 		}
 		consumed += telemetry
+		if s.aging != nil {
+			consumed *= s.aging[step/24]
+		}
 		if consumed < 0 {
 			consumed = 0
 		}
@@ -352,14 +650,27 @@ func (s *simulator) hourIntensity(i int) float64 {
 }
 
 // observe records one trace line per device for the completed step.
+// Offline devices record a fully-dead period: no budget, no allocation,
+// no consumption, battery frozen at its last online value.
 func (s *simulator) observe(step int, budgets []float64, allocs []reap.Allocation, consumed []float64) error {
-	sky := s.skies[step].String()
 	for i := range allocs {
 		dev, err := s.fleet.Device(i)
 		if err != nil {
 			return err
 		}
 		cfg := s.cfgs[i]
+		sky := s.skies[s.regionOf(i)][step].String()
+		if !s.fleet.Active(i) {
+			s.records = append(s.records, StepRecord{
+				Step:     step,
+				Device:   i,
+				Sky:      sky,
+				DeadS:    cfg.Period,
+				BatteryJ: dev.Battery(),
+				Fault:    synth.NoFault.String(),
+			})
+			continue
+		}
 		acc := allocs[i].ExpectedAccuracy(cfg)
 		_, utilScale := faultEffect(s.faults[i])
 		s.records = append(s.records, StepRecord{
@@ -384,6 +695,90 @@ func (s *simulator) observe(step int, budgets []float64, allocs []reap.Allocatio
 	return nil
 }
 
+// buildHarvest assembles the per-region hourly harvest and sky
+// sequences over the scenario's calendar span.
+func (s *simulator) buildHarvest(sc Scenario, steps int) error {
+	regions := sc.Regions
+	if len(regions) == 0 {
+		regions = []Region{{}}
+	}
+	s.hours = make([][]float64, len(regions))
+	s.skies = make([][]solar.Sky, len(regions))
+	for r, region := range regions {
+		scale := region.HarvestScale
+		if fpx.Zero(scale) {
+			scale = 1
+		}
+		hours := make([]float64, 0, steps)
+		skies := make([]solar.Sky, 0, steps)
+		month, year := sc.Month, sc.Year
+		for k := 0; k < sc.months() && len(hours) < steps; k++ {
+			tr, err := solar.MonthlyTraceSeeded(month, year, solar.DefaultCell(),
+				solar.RegionWeatherSeed(month, year, region.Name))
+			if err != nil {
+				return fmt.Errorf("%s: region %q: %w", sc.Name, region.Name, err)
+			}
+			for h := 0; h < len(tr.Hours) && len(hours) < steps; h++ {
+				hours = append(hours, tr.Hours[h]*sc.HarvestScale*scale)
+				skies = append(skies, tr.Skies[h])
+			}
+			month++
+			if month > 12 {
+				month, year = 1, year+1
+			}
+		}
+		if len(hours) < steps {
+			return fmt.Errorf("%w: %s: span yields %d hours for %d steps",
+				ErrInvalidScenario, sc.Name, len(hours), steps)
+		}
+		s.hours[r] = hours
+		s.skies[r] = skies
+	}
+	return nil
+}
+
+// buildStormMask draws the correlated storm windows from the dedicated
+// fleet-level seed stream.
+func (s *simulator) buildStormMask(sc Scenario, steps int) {
+	st := sc.Storm
+	if st == nil || fpx.Zero(st.StartRate) {
+		return
+	}
+	rng := rand.New(rand.NewSource(subSeed(sc.Seed, 0, saltStorm)))
+	mask := make([]bool, steps)
+	remaining := 0
+	for h := 0; h < steps; h++ {
+		if remaining == 0 && rng.Float64() < st.StartRate {
+			remaining = st.DurationHours
+		}
+		if remaining > 0 {
+			mask[h] = true
+			remaining--
+		}
+	}
+	s.stormMask = mask
+}
+
+// initialChurnState marks devices whose first scheduled mention is a
+// join as offline from the start — provisioned but not yet online.
+func initialChurnState(sc Scenario, fleet *reap.Fleet) error {
+	mentioned := map[int]bool{}
+	for _, ev := range sc.Churn {
+		for _, d := range ev.Leave {
+			mentioned[d] = true
+		}
+		for _, d := range ev.Join {
+			if !mentioned[d] {
+				mentioned[d] = true
+				if err := fleet.SetActive(d, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Run executes the scenario and returns its trace, summary metrics and
 // per-device configurations. Same scenario (including seed) in, same
 // trace bytes out — see the package comment for the determinism
@@ -394,11 +789,6 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	if _, err := reap.LookupSolver(sc.Solver); err != nil {
-		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
-	}
-
-	tr, err := solar.MonthlyTrace(sc.Month, sc.Year, solar.DefaultCell())
-	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
 	}
 	steps := sc.Days * 24
@@ -421,8 +811,8 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		// to the scenario definition rather than the library default.
 		opts = append(opts, reap.WithoutSolveCache())
 	}
-	if sc.PerDevice != nil {
-		opts = append(opts, reap.WithDeviceOverride(sc.PerDevice))
+	if override := sc.perDeviceOverride(); override != nil {
+		opts = append(opts, reap.WithDeviceOverride(override))
 	}
 	fleet, err := reap.NewFleet(sc.Devices, opts...)
 	if err != nil {
@@ -433,8 +823,6 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		sc:         sc,
 		fleet:      fleet,
 		cfgs:       make([]reap.Config, sc.Devices),
-		hours:      make([]float64, steps),
-		skies:      tr.Skies[:steps],
 		jitter:     make([]float64, sc.Devices),
 		telemetryJ: energy.BLETransmission(sc.TelemetryBytes),
 		actual:     make([]float64, sc.Devices),
@@ -442,18 +830,28 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		faults:     make([]synth.Fault, sc.Devices),
 		records:    make([]StepRecord, 0, steps*sc.Devices),
 	}
-	for h := 0; h < steps; h++ {
-		s.hours[h] = tr.Hours[h] * sc.HarvestScale
+	if err := s.buildHarvest(sc, steps); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.buildStormMask(sc, steps)
+	if sc.AgingPerDay > 0 && !sc.FlatConsumption {
+		s.aging = make([]float64, sc.Days)
+		for d := range s.aging {
+			s.aging[d] = math.Pow(1+sc.AgingPerDay, float64(d))
+		}
+	}
+	if err := initialChurnState(sc, fleet); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
 	}
 
-	batteryStart := 0.0
+	batteryStarts := make([]float64, sc.Devices)
 	for i := 0; i < sc.Devices; i++ {
 		dev, err := fleet.Device(i)
 		if err != nil {
 			return nil, err
 		}
 		s.cfgs[i] = dev.Config()
-		batteryStart += dev.Battery()
+		batteryStarts[i] = dev.Battery()
 	}
 
 	jitterRng := rand.New(rand.NewSource(subSeed(sc.Seed, 0, saltJitter)))
@@ -513,6 +911,8 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	if stats, ok := fleet.CacheStats(); ok {
 		res.CacheStats = &stats
 	}
-	res.Summary = summarize(res, batteryStart, batteryEnd, elapsed)
+	if res.Summary, err = summarize(res, batteryStarts, batteryEnd, elapsed); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", sc.Name, err)
+	}
 	return res, nil
 }

@@ -3,15 +3,29 @@ package sim
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"repro"
 )
+
+// corpusScenarios returns every scenario in the embedded corpus,
+// failing the test if the corpus does not load.
+func corpusScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	c, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Scenarios()
+}
 
 // Two runs of the same scenario must produce byte-identical traces —
 // the core determinism contract, independent of the checked-in goldens.
 func TestSameSeedByteIdenticalTrace(t *testing.T) {
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			a, err := Run(context.Background(), sc)
@@ -47,9 +61,11 @@ func TestDifferentSeedDifferentTrace(t *testing.T) {
 }
 
 // The trace must be internally consistent: canonical ordering, time
-// conservation, energy feasibility, batteries within capacity.
+// conservation, energy feasibility, batteries within capacity. Runs
+// over the whole corpus, so churned, stormed, regional and aging
+// scenarios are all held to the same invariants.
 func TestTraceInvariants(t *testing.T) {
-	for _, sc := range Library() {
+	for _, sc := range corpusScenarios(t) {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
 			res, err := Run(context.Background(), sc)
@@ -79,7 +95,7 @@ func TestTraceInvariants(t *testing.T) {
 						t.Fatalf("step %d dev %d: allocation totals %v s, period is %v s",
 							step, dev, total, cfg.Period)
 					}
-					if r.BatteryJ < -1e-9 || r.BatteryJ > capacityOf(t, res, dev)+1e-9 {
+					if r.BatteryJ < -1e-9 || r.BatteryJ > capacityOf(res, dev)+1e-9 {
 						t.Fatalf("step %d dev %d: battery %v outside [0, capacity]", step, dev, r.BatteryJ)
 					}
 					if r.ConsumedJ < 0 {
@@ -91,18 +107,20 @@ func TestTraceInvariants(t *testing.T) {
 	}
 }
 
-// capacityOf infers device dev's battery capacity from the scenario and
-// its per-device overrides by probing the recorded battery ceiling — the
-// scenario library only raises capacity via overrides, so the base
-// capacity plus the override table bounds it.
-func capacityOf(t *testing.T, res *Result, dev int) float64 {
-	t.Helper()
-	// MixedFleet raises device 1 mod 3 to 150 J; everything else uses
-	// the scenario capacity.
-	if res.Scenario.Name == "mixed-fleet" && dev%3 == 1 {
-		return 150
+// capacityOf resolves device dev's battery capacity from the scenario's
+// declarative population overrides, mirroring perDeviceOverride's
+// matching rule.
+func capacityOf(res *Result, dev int) float64 {
+	capacity := res.Scenario.CapacityJ
+	for _, p := range res.Scenario.Populations {
+		if p.Modulus > 0 && dev%p.Modulus != p.Residue {
+			continue
+		}
+		if p.BatteryJ != 0 || p.CapacityJ != 0 {
+			capacity = p.CapacityJ
+		}
 	}
-	return res.Scenario.CapacityJ
+	return capacity
 }
 
 // The cache-hot scenario exists to prove budget correlation: all
@@ -188,23 +206,48 @@ func TestFaultInjection(t *testing.T) {
 
 func TestScenarioValidation(t *testing.T) {
 	cases := map[string]func(*Scenario){
-		"no devices":    func(s *Scenario) { s.Devices = 0 },
-		"bad month":     func(s *Scenario) { s.Month = 13 },
-		"too many days": func(s *Scenario) { s.Days = 40 },
-		"neg noise":     func(s *Scenario) { s.Noise = -1 },
-		"bad fault":     func(s *Scenario) { s.FaultRate = 2 },
-		"bad jitter":    func(s *Scenario) { s.DeviceJitter = 1 },
-		"neg scale":     func(s *Scenario) { s.HarvestScale = -2 },
+		"no devices":      func(s *Scenario) { s.Devices = 0 },
+		"bad month":       func(s *Scenario) { s.Month = 13 },
+		"too many days":   func(s *Scenario) { s.Days = 40 },
+		"neg noise":       func(s *Scenario) { s.Noise = -1 },
+		"bad fault":       func(s *Scenario) { s.FaultRate = 2 },
+		"bad jitter":      func(s *Scenario) { s.DeviceJitter = 1 },
+		"neg scale":       func(s *Scenario) { s.HarvestScale = -2 },
+		"neg months":      func(s *Scenario) { s.Months = -1 },
+		"huge months":     func(s *Scenario) { s.Months = 37 },
+		"neg aging":       func(s *Scenario) { s.AgingPerDay = -0.01 },
+		"huge aging":      func(s *Scenario) { s.AgingPerDay = 0.2 },
+		"bad residue":     func(s *Scenario) { s.Populations = []Population{{Modulus: 3, Residue: 3}} },
+		"bad pop battery": func(s *Scenario) { s.Populations = []Population{{BatteryJ: 10}} },
+		"pops+perdevice": func(s *Scenario) {
+			s.Populations = []Population{{Modulus: 2}}
+			s.PerDevice = func(int) []reap.Option { return nil }
+		},
+		"dup region":        func(s *Scenario) { s.Regions = []Region{{Name: "a"}, {Name: "a"}} },
+		"neg region scale":  func(s *Scenario) { s.Regions = []Region{{Name: "a", HarvestScale: -1}} },
+		"churn early":       func(s *Scenario) { s.Churn = []ChurnEvent{{Step: -1}} },
+		"churn late":        func(s *Scenario) { s.Churn = []ChurnEvent{{Step: 72}} },
+		"churn unordered":   func(s *Scenario) { s.Churn = []ChurnEvent{{Step: 10}, {Step: 5}} },
+		"churn bad device":  func(s *Scenario) { s.Churn = []ChurnEvent{{Step: 1, Leave: []int{9}}} },
+		"storm bad rate":    func(s *Scenario) { s.Storm = &Storm{StartRate: 2, DurationHours: 3} },
+		"storm no duration": func(s *Scenario) { s.Storm = &Storm{StartRate: 0.1} },
+		"storm bad faults":  func(s *Scenario) { s.Storm = &Storm{StartRate: 0.1, DurationHours: 3, FaultRate: -1} },
+		"storm bad scale":   func(s *Scenario) { s.Storm = &Storm{StartRate: 0.1, DurationHours: 3, HarvestScale: -1} },
 	}
 	for name, mutate := range cases {
 		sc := ClearMonth()
 		mutate(&sc)
-		if _, err := Run(context.Background(), sc); err == nil {
+		_, err := Run(context.Background(), sc)
+		if err == nil {
 			t.Errorf("%s: Run accepted an invalid scenario", name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidScenario) {
+			t.Errorf("%s: error does not wrap ErrInvalidScenario: %v", name, err)
 		}
 	}
-	if _, err := Run(context.Background(), Scenario{}); err == nil {
-		t.Error("zero scenario must not run")
+	if _, err := Run(context.Background(), Scenario{}); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("zero scenario must fail with ErrInvalidScenario, got %v", err)
 	}
 	sc := ClearMonth()
 	sc.Solver = "no-such-backend"
@@ -213,6 +256,8 @@ func TestScenarioValidation(t *testing.T) {
 	}
 }
 
+// Lookup resolves corpus scenarios by name and classifies unknown names
+// with the ErrUnknownScenario sentinel.
 func TestLookup(t *testing.T) {
 	for _, want := range Library() {
 		got, err := Lookup(want.Name)
@@ -223,8 +268,64 @@ func TestLookup(t *testing.T) {
 			t.Fatalf("Lookup(%q) returned %q seed %d", want.Name, got.Name, got.Seed)
 		}
 	}
+	cases := []struct {
+		name string
+		want error
+	}{
+		{"nope", ErrUnknownScenario},
+		{"", ErrUnknownScenario},
+		{"clear-month ", ErrUnknownScenario}, // names are exact, no trimming
+	}
+	for _, tc := range cases {
+		_, err := Lookup(tc.name)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("Lookup(%q): got %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+	// The message must name what was asked for, so operators can see the
+	// typo, and list what exists.
 	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("Lookup of unknown scenario: %v", err)
+	}
+}
+
+// The embedded corpus must contain every legacy library scenario with
+// semantics identical to its Go constructor (the byte-level pinning of
+// the config files is config_test.go's job).
+func TestCorpusSupersetOfLibrary(t *testing.T) {
+	c, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range Library() {
+		got, err := c.Lookup(want.Name)
+		if err != nil {
+			t.Fatalf("library scenario %s missing from corpus: %v", want.Name, err)
+		}
+		wc, err := ConfigFromScenario(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc, err := ConfigFromScenario(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := wc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := gc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("%s: corpus scenario differs from constructor:\ncorpus:      %s\nconstructor: %s",
+				want.Name, gb, wb)
+		}
+	}
+	if c.Len() < len(Library())+4 {
+		t.Fatalf("corpus has %d scenarios; want the %d legacy ones plus at least 4 config-only",
+			c.Len(), len(Library()))
 	}
 }
 
@@ -247,5 +348,204 @@ func TestMixedFleetHeterogeneous(t *testing.T) {
 	}
 	if a0, a1 := res.Configs[0].Alpha, res.Configs[1].Alpha; a0 == a1 {
 		t.Fatalf("device 0 and 1 share alpha %v: override did not apply", a0)
+	}
+}
+
+// mustScenario fetches a corpus scenario the test depends on.
+func mustScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// Fleet churn: the fleet-churn scenario provisions device 4 at step 24
+// and takes device 0 offline for [36, 60). Offline device-hours must be
+// fully dead — no budget, no consumption, battery frozen — and the
+// device must resume from its frozen battery when it rejoins.
+func TestFleetChurnOfflineAccounting(t *testing.T) {
+	res, err := Run(context.Background(), mustScenario(t, "fleet-churn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	offline := func(dev, step int) bool {
+		switch dev {
+		case 4:
+			return step < 24
+		case 0:
+			return step >= 36 && step < 60
+		}
+		return false
+	}
+	frozen := map[int]float64{}
+	for step := 0; step < tr.Steps; step++ {
+		for dev := 0; dev < tr.Devices; dev++ {
+			r := tr.At(step, dev)
+			if !offline(dev, step) {
+				delete(frozen, dev)
+				continue
+			}
+			if r.BudgetJ != 0 || r.ConsumedJ != 0 || r.HarvestJ != 0 {
+				t.Fatalf("step %d dev %d: offline device has budget %v harvest %v consumed %v",
+					step, dev, r.BudgetJ, r.HarvestJ, r.ConsumedJ)
+			}
+			if r.DeadS != res.Configs[dev].Period {
+				t.Fatalf("step %d dev %d: offline period not fully dead (%v s)", step, dev, r.DeadS)
+			}
+			if prev, ok := frozen[dev]; ok && r.BatteryJ != prev {
+				t.Fatalf("step %d dev %d: battery moved offline (%v -> %v)", step, dev, prev, r.BatteryJ)
+			}
+			frozen[dev] = r.BatteryJ
+		}
+	}
+	// Device 0's first online step after rejoin starts from the frozen
+	// battery level (continuity across the gap).
+	preOffline := tr.At(35, 0).BatteryJ
+	if got := tr.At(59, 0).BatteryJ; got != preOffline {
+		t.Fatalf("device 0 battery drifted offline: %v -> %v", preOffline, got)
+	}
+	// The rejoined device must actually do work again.
+	var post float64
+	for step := 60; step < tr.Steps; step++ {
+		post += tr.At(step, 0).ConsumedJ
+	}
+	if post == 0 {
+		t.Fatal("device 0 never consumed after rejoining")
+	}
+}
+
+// Correlated storms: removing the storm from the fault-storm scenario
+// must strictly reduce both the fault count and total harvest — the
+// correlated windows are where the cascade comes from.
+func TestStormCorrelatedFaults(t *testing.T) {
+	sc := mustScenario(t, "fault-storm")
+	stormy, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := sc
+	calm.Storm = nil
+	base, err := Run(context.Background(), calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy.Summary.FaultCount <= base.Summary.FaultCount {
+		t.Fatalf("storm did not raise fault count: %d with storm, %d without",
+			stormy.Summary.FaultCount, base.Summary.FaultCount)
+	}
+	if stormy.Summary.TotalHarvestJ >= base.Summary.TotalHarvestJ {
+		t.Fatalf("storm did not darken the sky: %v J with storm, %v J without",
+			stormy.Summary.TotalHarvestJ, base.Summary.TotalHarvestJ)
+	}
+	// Storm windows hit the whole fleet at once: some hour must see at
+	// least two devices faulting together (p ≈ 1 per run at these rates).
+	perStep := map[int]int{}
+	for i := range stormy.Trace.Records {
+		r := &stormy.Trace.Records[i]
+		if r.Fault != "none" {
+			perStep[r.Step]++
+		}
+	}
+	correlated := 0
+	for _, n := range perStep {
+		if n >= 2 {
+			correlated++
+		}
+	}
+	if correlated == 0 {
+		t.Fatal("no hour saw two devices faulting together; storms are not correlated")
+	}
+}
+
+// Geographic fleets: devices in the same region share a sky sequence;
+// devices in different regions see genuinely different weather.
+func TestGeoFleetRegionalSkies(t *testing.T) {
+	res, err := Run(context.Background(), mustScenario(t, "geo-fleet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	diff := 0
+	for step := 0; step < tr.Steps; step++ {
+		// Devices 0 and 3 share region 0 (i % 3).
+		if a, b := tr.At(step, 0).Sky, tr.At(step, 3).Sky; a != b {
+			t.Fatalf("step %d: same-region devices saw %s vs %s", step, a, b)
+		}
+		if tr.At(step, 0).Sky != tr.At(step, 1).Sky {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("regions oslo and lisbon produced identical sky sequences")
+	}
+}
+
+// Battery aging: the seasonal-aging scenario's consumption inflation
+// must compound — switching aging off strictly reduces total consumed
+// energy over the two-month horizon.
+func TestSeasonalAgingInflatesConsumption(t *testing.T) {
+	sc := mustScenario(t, "seasonal-aging")
+	aged, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := sc
+	fresh.AgingPerDay = 0
+	base, err := Run(context.Background(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged.Summary.TotalConsumedJ <= base.Summary.TotalConsumedJ {
+		t.Fatalf("aging did not inflate consumption: %v J aged, %v J fresh",
+			aged.Summary.TotalConsumedJ, base.Summary.TotalConsumedJ)
+	}
+	// The horizon must actually cross the month boundary (30 November
+	// days < 40 simulated days), or the seasonal seam is untested.
+	if sc.Days*24 <= 30*24 {
+		t.Fatalf("seasonal-aging horizon %d days does not cross the month boundary", sc.Days)
+	}
+}
+
+// The statistical golden: utility and neutrality across independent
+// seeds must be stable enough that a 95% confidence interval on the
+// mean stays inside a fixed band. A regression that shifts the
+// distribution — not just one seed — moves the interval out of the
+// band; a single noisy seed does not.
+func TestMultiSeedStatisticalGolden(t *testing.T) {
+	const seeds = 8
+	sc := ClearMonth()
+	var utilities, neutralities []float64
+	for s := int64(0); s < seeds; s++ {
+		run := sc
+		run.Seed = sc.Seed + 100 + s
+		res, err := Run(context.Background(), run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		utilities = append(utilities, res.Summary.MeanUtility)
+		neutralities = append(neutralities, res.Summary.NeutralityError)
+	}
+	uLo, uHi, err := MeanCI(utilities, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The band is deliberately loose (±25% around the seed-1 golden's
+	// utility): it catches distribution-level regressions, not noise.
+	if uLo < 0.45 || uHi > 0.95 {
+		t.Fatalf("mean utility CI [%v, %v] left the expected band [0.45, 0.95] (samples %v)",
+			uLo, uHi, utilities)
+	}
+	if uHi-uLo > 0.15 {
+		t.Fatalf("utility CI [%v, %v] too wide: seeds disagree wildly (samples %v)", uLo, uHi, utilities)
+	}
+	nLo, nHi, err := MeanCI(neutralities, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nLo < 0 || nHi > 0.5 {
+		t.Fatalf("neutrality CI [%v, %v] outside [0, 0.5] (samples %v)", nLo, nHi, neutralities)
 	}
 }
