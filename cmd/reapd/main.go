@@ -10,18 +10,23 @@
 //	      [-cache 0] [-cacheres 0.001]
 //	      [-rate 0] [-burst 0] [-drain-timeout 30s]
 //	      [-journal DIR] [-fsync interval] [-fsync-interval 100ms]
-//	      [-snapshot-every 4096] [-quarantine-after 0]
+//	      [-snapshot-every 4096] [-retain-segments 4]
+//	      [-role primary] [-primary HOST:PORT] [-follower-id ID]
+//	      [-quarantine-after 0]
 //	      [-max-inflight 0] [-default-deadline 0] [-max-deadline 0]
 //
 // Endpoints:
 //
-//	POST /v1/solve        one stateless allocation
-//	POST /v1/batch-solve  many independent allocations in one round trip
-//	POST /v1/report       measured consumption for owned devices
-//	POST /v1/telemetry    NDJSON stream: harvest in, allocation out
-//	POST /v1/alpha        re-weight one device's accuracy-time objective
-//	GET  /v1/stats        counters, shard layout, cache and journal stats
-//	GET  /healthz         liveness (JSON body; 503 while draining)
+//	POST /v1/solve          one stateless allocation
+//	POST /v1/batch-solve    many independent allocations in one round trip
+//	POST /v1/report         measured consumption for owned devices
+//	POST /v1/telemetry      NDJSON stream: harvest in, allocation out
+//	POST /v1/alpha          re-weight one device's accuracy-time objective
+//	GET  /v1/stats          counters, shards, cache, journal, replication
+//	GET  /healthz           liveness + role/epoch/lag (503 while draining)
+//	GET  /v1/replicate      journal-shipping stream for followers
+//	POST /v1/replicate/ack  follower apply-position acks
+//	POST /v1/promote        admin failover: follower becomes primary
 //
 // -rate enables per-tenant admission control (tenant = X-Tenant header):
 // each tenant gets -rate solves/second with bursts of -burst, excess is
@@ -36,6 +41,16 @@
 // the disk-flush policy (always | interval | never; all three survive
 // process death, the policy bounds power-loss exposure). See DESIGN.md
 // "Failure model".
+//
+// -role follower -primary HOST:PORT makes this daemon a hot standby: it
+// boots from its own -journal, tails the primary's journal stream
+// (snapshot bootstrap when it is too far behind), applies every acked
+// mutation, serves stateless solves normally, and refuses mutations
+// with 503 not_primary plus a Leader hint header. POST /v1/promote
+// turns it into the primary, bumping the fencing epoch persisted in the
+// journal dir so the old primary — should it come back — is rejected
+// with 409 stale_epoch instead of split-braining. See DESIGN.md
+// "Replication contract" and the README failover runbook.
 //
 // -max-inflight sheds excess load with 503 + Retry-After before any
 // work is done; -default-deadline/-max-deadline bound per-request solve
@@ -75,6 +90,10 @@ func main() {
 	fsync := flag.String("fsync", service.FsyncInterval, "journal fsync policy: always | interval | never")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "flush cadence under -fsync interval (0 = 100ms)")
 	snapshotEvery := flag.Uint64("snapshot-every", 0, "compact a snapshot every N journal appends (0 = 4096)")
+	role := flag.String("role", "", "replication role: primary (default) | follower")
+	primary := flag.String("primary", "", "primary address a follower replicates from")
+	followerID := flag.String("follower-id", "", "name for this follower in the primary's lag accounting")
+	retainSegments := flag.Int("retain-segments", 0, "rotated journal segments kept for replication catch-up (0 = 4, negative = none)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "quarantine a shard after N panics (0 = never)")
 	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond N in flight with 503 (0 = unlimited)")
 	defaultDeadline := flag.Duration("default-deadline", 0, "per-request deadline when the client sends none (0 = none)")
@@ -95,6 +114,10 @@ func main() {
 		FsyncPolicy:      *fsync,
 		FsyncInterval:    *fsyncInterval,
 		SnapshotEvery:    *snapshotEvery,
+		Role:             *role,
+		PrimaryAddr:      *primary,
+		FollowerID:       *followerID,
+		RetainSegments:   *retainSegments,
 		QuarantineAfter:  *quarantineAfter,
 		MaxInflight:      *maxInflight,
 		Deadline: resilience.DeadlinePolicy{
@@ -108,6 +131,13 @@ func main() {
 	if js := svc.Stats().Journal; js != nil {
 		log.Printf("journal %s: replayed %d events onto snapshot seq %d (torn tail: %v), fsync %s",
 			*journalDir, js.Replayed, js.SnapshotSeq, js.TornTail, js.FsyncPolicy)
+	}
+	if rs := svc.Stats().Replication; rs != nil {
+		if rs.Role == "follower" {
+			log.Printf("replication: follower of %s at epoch %d", rs.Primary, rs.Epoch)
+		} else {
+			log.Printf("replication: primary at epoch %d", rs.Epoch)
+		}
 	}
 	srv := service.NewServer(svc, *addr)
 	if err := srv.Start(); err != nil {

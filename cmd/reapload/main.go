@@ -32,6 +32,19 @@
 // shrugs off vanishing clients. Torn connections are counted and
 // excluded from latency.
 //
+// Replication is first-class: a 503 whose response carries a Leader
+// header (a follower refusing a mutation with not_primary) is a
+// redirect, not an error — the worker retargets every later request at
+// the leader and the attempt never enters the latency population.
+//
+// -failover D turns a run into the kill-the-primary chaos harness: D
+// into the window the process named by -kill-pid is SIGKILLed, the
+// follower at -promote is promoted (polled until it accepts), and all
+// traffic swings to it stamped with the new fencing epoch
+// (X-Reap-Epoch). At the end the run asserts zero acked loss — every
+// report acknowledged by either node must be present in the survivor's
+// /v1/stats counters — and exits 1 otherwise.
+//
 // -max-p99 makes reapload an assertion: if the measured p99 per-request
 // latency exceeds it, the run exits 1 — the CI serve-smoke and
 // chaos-smoke jobs' gate.
@@ -51,6 +64,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/wire"
@@ -63,6 +77,8 @@ type stats struct {
 	shed      int
 	torn      int
 	errors    int
+	redirects int
+	fenced    int
 	latencies []time.Duration
 }
 
@@ -78,8 +94,24 @@ type document struct {
 	Shed       int     `json:"shed"`
 	Torn       int     `json:"torn,omitempty"`
 	Errors     int     `json:"errors"`
+	Redirects  int     `json:"redirects,omitempty"`
+	Fenced     int     `json:"fenced,omitempty"`
 	SolvesPerS float64 `json:"solves_per_sec"`
 	Latency    latency `json:"request_latency_us"`
+
+	Failover *failoverDoc `json:"failover,omitempty"`
+}
+
+// failoverDoc records the kill-the-primary run: what was killed, who
+// took over at which epoch, and the acked-loss reconciliation. Lost
+// must be 0 — the run exits 1 otherwise.
+type failoverDoc struct {
+	KilledPid     int    `json:"killed_pid,omitempty"`
+	PromotedAddr  string `json:"promoted_addr"`
+	Epoch         uint64 `json:"epoch"`
+	AckedReports  int    `json:"acked_reports"`
+	ServerReports uint64 `json:"server_reports"`
+	Lost          int64  `json:"lost_acked"`
 }
 
 type latency struct {
@@ -110,6 +142,36 @@ const (
 	tearTimeout = time.Second
 )
 
+// target is where traffic currently goes: the address every worker
+// posts to and the fencing epoch stamped on each request (zero = no
+// header). A Leader redirect or a promotion swings it mid-run.
+type target struct {
+	mu    sync.Mutex
+	addr  string
+	epoch uint64
+}
+
+func (t *target) get() (string, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addr, t.epoch
+}
+
+// redirect follows a Leader hint: only the address moves, the epoch is
+// whatever the last promotion established.
+func (t *target) redirect(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addr = addr
+}
+
+// promote swings all traffic to the new primary at its epoch.
+func (t *target) promote(addr string, epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addr, t.epoch = addr, epoch
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reapload: ")
@@ -126,12 +188,18 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for tear decisions and backoff jitter")
 	out := flag.String("out", "", "write the benchmark document to this file (default stdout only)")
 	maxP99 := flag.Duration("max-p99", 0, "fail (exit 1) if request p99 exceeds this (0 = no gate)")
+	failover := flag.Duration("failover", 0, "kill the primary this far into the window and promote -promote (0 = off)")
+	promoteAddr := flag.String("promote", "", "follower address to promote during -failover")
+	killPid := flag.Int("kill-pid", 0, "primary pid to SIGKILL during -failover (0 = operator kills it)")
 	flag.Parse()
 	if *batch < 1 || *conns < 1 || *devices < 1 {
 		log.Fatal("batch, conns and devices must be positive")
 	}
 	if *chaos < 0 || *chaos >= 1 {
 		log.Fatal("chaos must be in [0, 1)")
+	}
+	if *failover > 0 && (*promoteAddr == "" || *failover >= *duration) {
+		log.Fatal("-failover needs -promote and must fire inside -duration")
 	}
 
 	payloads := buildPayloads(*mode, *batch, *devices, *solver)
@@ -147,6 +215,12 @@ func main() {
 		log.Fatalf("probe: %v", err)
 	}
 
+	tgt := &target{addr: *addr}
+	var fdoc *failoverDoc
+	if *failover > 0 {
+		fdoc = &failoverDoc{KilledPid: *killPid, PromotedAddr: *promoteAddr}
+	}
+
 	deadline := time.Now().Add(*duration)
 	results := make([]stats, *conns)
 	var wg sync.WaitGroup
@@ -155,9 +229,16 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			drive(&results[w], client, *addr, *tenant, payloads, deadline,
+			drive(&results[w], client, tgt, *tenant, payloads, deadline,
 				*chaos, rand.New(rand.NewSource(*chaosSeed+int64(w))), w)
 		}(w)
+	}
+	if fdoc != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runFailover(client, tgt, fdoc, *failover)
+		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -170,6 +251,8 @@ func main() {
 		total.shed += results[i].shed
 		total.torn += results[i].torn
 		total.errors += results[i].errors
+		total.redirects += results[i].redirects
+		total.fenced += results[i].fenced
 		total.latencies = append(total.latencies, results[i].latencies...)
 	}
 	if len(total.latencies) == 0 {
@@ -189,6 +272,8 @@ func main() {
 		Shed:       total.shed,
 		Torn:       total.torn,
 		Errors:     total.errors,
+		Redirects:  total.redirects,
+		Fenced:     total.fenced,
 		SolvesPerS: float64(total.solves) / elapsed.Seconds(),
 		Latency: latency{
 			Mean: mean(total.latencies),
@@ -198,6 +283,23 @@ func main() {
 			P999: percentile(total.latencies, 0.999),
 			Max:  us(total.latencies[len(total.latencies)-1]),
 		},
+	}
+	if fdoc != nil {
+		// Reconcile acked mutations against the survivor: every report a
+		// worker saw a 200 for — from either primary — must be counted by
+		// the promoted node, or acked state was lost in the failover.
+		fdoc.AckedReports = total.reports
+		finalAddr, _ := tgt.get()
+		sr, err := fetchStats(client, finalAddr)
+		if err != nil {
+			log.Fatalf("failover: final stats from %s: %v", finalAddr, err)
+		}
+		fdoc.ServerReports = sr.Reports
+		fdoc.Lost = int64(fdoc.AckedReports) - int64(sr.Reports)
+		if fdoc.Lost < 0 {
+			fdoc.Lost = 0 // server may hold more (unacked applies); never fewer
+		}
+		doc.Failover = fdoc
 	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -210,35 +312,129 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if doc.Failover != nil && doc.Failover.Lost > 0 {
+		log.Fatalf("failover lost %d acked reports (acked %d, server counts %d)",
+			doc.Failover.Lost, doc.Failover.AckedReports, doc.Failover.ServerReports)
+	}
 	if *maxP99 > 0 && doc.Latency.P99 > us(*maxP99) {
 		log.Fatalf("p99 %.0f µs exceeds gate %v", doc.Latency.P99, *maxP99)
 	}
 }
 
+// runFailover is the chaos choreography: sleep into the window, SIGKILL
+// the primary, promote the follower (polling until it answers — it may
+// still be catching up on its stream), then swing every worker to it at
+// the new epoch.
+func runFailover(client *http.Client, tgt *target, fdoc *failoverDoc, after time.Duration) {
+	time.Sleep(after)
+	if fdoc.KilledPid > 0 {
+		if err := syscall.Kill(fdoc.KilledPid, syscall.SIGKILL); err != nil {
+			log.Fatalf("failover: kill -9 %d: %v", fdoc.KilledPid, err)
+		}
+		log.Printf("failover: killed primary pid %d", fdoc.KilledPid)
+	}
+	epoch, err := promoteNode(client, fdoc.PromotedAddr)
+	if err != nil {
+		log.Fatalf("failover: promoting %s: %v", fdoc.PromotedAddr, err)
+	}
+	fdoc.Epoch = epoch
+	tgt.promote(fdoc.PromotedAddr, epoch)
+	log.Printf("failover: promoted %s at epoch %d", fdoc.PromotedAddr, epoch)
+}
+
+// promoteNode posts /v1/promote until the follower accepts, returning
+// the epoch now in force.
+func promoteNode(client *http.Client, addr string) (uint64, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	body := []byte(`{"v":1}`)
+	for {
+		req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/promote", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var pr wire.PromoteResponse
+				if err := json.Unmarshal(raw, &pr); err != nil {
+					return 0, fmt.Errorf("decoding promote response: %v", err)
+				}
+				return pr.Epoch, nil
+			}
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		if time.Now().After(deadline) {
+			return 0, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetchStats reads /v1/stats from addr.
+func fetchStats(client *http.Client, addr string) (*wire.StatsResponse, error) {
+	resp, err := client.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var sr wire.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
 // drive is one worker's load loop: post payloads until the deadline,
-// honoring back-pressure and injecting client-side tears.
-func drive(st *stats, client *http.Client, addr, tenant string, payloads []payload,
+// honoring back-pressure, following Leader redirects, and injecting
+// client-side tears.
+func drive(st *stats, client *http.Client, tgt *target, tenant string, payloads []payload,
 	deadline time.Time, chaosP float64, rng *rand.Rand, w int) {
 	backoff := backoffMin
 	for i := 0; time.Now().Before(deadline); i++ {
 		p := payloads[(w+i)%len(payloads)]
+		addr, epoch := tgt.get()
 		if chaosP > 0 && rng.Float64() < chaosP {
 			tear(addr, p, rng)
 			st.torn++
 			continue
 		}
 		t0 := time.Now()
-		status, retryAfter, err := post(client, "http://"+addr+p.path, tenant, p.body)
+		status, retryAfter, leader, err := post(client, "http://"+addr+p.path, tenant, epoch, p.body)
 		switch {
 		case err != nil:
+			// Connection-level failure — during a failover window this is
+			// the dead primary; back off instead of hammering it.
 			st.requests++
 			st.errors++
+			time.Sleep(withJitter(backoff, rng))
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
 		case status == http.StatusOK:
 			st.requests++
 			st.latencies = append(st.latencies, time.Since(t0))
 			st.solves += p.solves
 			st.reports += p.reports
 			backoff = backoffMin
+		case status == http.StatusServiceUnavailable && leader != "":
+			// A follower pointing at its primary: a redirect, not an
+			// error, and never part of the latency population.
+			st.requests++
+			st.redirects++
+			tgt.redirect(leader)
+		case status == http.StatusConflict:
+			// stale_epoch: we hit a fenced node, or our epoch view is
+			// behind a promotion in progress. Counted separately; the
+			// target will be swung by the failover controller.
+			st.requests++
+			st.fenced++
+			time.Sleep(withJitter(backoff, rng))
 		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
 			// Shed, not failed: the server asked us to slow down.
 			st.requests++
@@ -339,26 +535,31 @@ func mustEncode(v any) []byte {
 }
 
 // post sends one request and reports its status plus any Retry-After
-// hint. The body is drained so the connection is reusable; payloads are
+// and Leader hints. A nonzero epoch rides the X-Reap-Epoch header so a
+// fenced ex-primary rejects us instead of acknowledging into a dead
+// log. The body is drained so the connection is reusable; payloads are
 // not parsed on the hot path — correctness is the service tests' job,
 // throughput is ours.
-func post(client *http.Client, url, tenant string, body []byte) (status int, retryAfter time.Duration, err error) {
+func post(client *http.Client, url, tenant string, epoch uint64, body []byte) (status int, retryAfter time.Duration, leader string, err error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Tenant", tenant)
+	if epoch > 0 {
+		req.Header.Set("X-Reap-Epoch", strconv.FormatUint(epoch, 10))
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 		retryAfter = time.Duration(secs) * time.Second
 	}
-	return resp.StatusCode, retryAfter, nil
+	return resp.StatusCode, retryAfter, resp.Header.Get("Leader"), nil
 }
 
 // probe sends one request outside the measured window and surfaces its

@@ -29,18 +29,25 @@ import (
 )
 
 // scoped lists the packages whose public boundary the taxonomy governs.
+// internal/journal and internal/replicate joined with the replication
+// work: the service routes on their sentinels (journal.ErrDiskFull →
+// degraded read-only mode, replicate.ErrOutOfSync → snapshot resync),
+// so an unwrapped error there silently disables a failure mode.
 var scoped = map[string]bool{
-	"repro":               true,
-	"repro/internal/core": true,
-	"repro/internal/lp":   true,
-	"repro/sim":           true,
+	"repro":                    true,
+	"repro/internal/core":      true,
+	"repro/internal/lp":        true,
+	"repro/internal/journal":   true,
+	"repro/internal/replicate": true,
+	"repro/sim":                true,
 }
 
 // Analyzer enforces sentinel wrapping at the public boundary.
 var Analyzer = &analysis.Analyzer{
 	Name: "errtaxonomy",
-	Doc: "errors returned by exported functions of repro, internal/core, " +
-		"internal/lp and sim must wrap a sentinel via %w so errors.Is keeps working",
+	Doc: "errors returned by exported functions of repro, internal/core, internal/lp, " +
+		"internal/journal, internal/replicate and sim must wrap a sentinel via %w " +
+		"so errors.Is keeps working",
 	Run: run,
 }
 

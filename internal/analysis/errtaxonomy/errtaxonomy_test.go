@@ -11,6 +11,13 @@ func TestErrtaxonomyInScope(t *testing.T) {
 	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/core", "repro/internal/core")
 }
 
+// TestErrtaxonomyJournal pins the scope widened by the replication
+// work: internal/journal's sentinels (ErrDiskFull, ErrCompacted) route
+// the daemon's degraded and bootstrap paths.
+func TestErrtaxonomyJournal(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/journal", "repro/internal/journal")
+}
+
 // TestErrtaxonomyOutOfScope loads the same violations under a support
 // package path: no diagnostics, the taxonomy governs only the solver
 // packages' boundaries.

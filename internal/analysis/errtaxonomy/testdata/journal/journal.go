@@ -1,0 +1,38 @@
+// Fixture for the errtaxonomy analyzer, loaded as
+// repro/internal/journal: the service routes on this package's
+// sentinels (ErrDiskFull → degraded read-only mode, ErrCompacted →
+// snapshot bootstrap), so an error that wraps none of them silently
+// disables a failure mode.
+package journal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel definitions are legal uses of errors.New — they ARE the
+// taxonomy.
+var (
+	ErrDiskFull  = errors.New("journal: disk full")
+	ErrCompacted = errors.New("journal: sequence compacted away")
+)
+
+// Append wraps the sentinel with %w: errors.Is(err, ErrDiskFull)
+// reaches it and the daemon degrades instead of crashing.
+func Append(free int) error {
+	if free == 0 {
+		return fmt.Errorf("%w: 0 bytes free", ErrDiskFull)
+	}
+	return nil
+}
+
+// Fresh returns a brand-new error that wraps nothing: the degraded
+// path can never trigger on it.
+func Fresh() error {
+	return errors.New("out of space") // want `Fresh returns errors\.New\(\.\.\.\), which wraps no sentinel`
+}
+
+// Unwrapped formats without %w, severing the errors.Is chain.
+func Unwrapped(seq uint64) error {
+	return fmt.Errorf("seq %d compacted away", seq) // want `Unwrapped returns fmt\.Errorf without %w`
+}

@@ -1,15 +1,18 @@
 // Package recoverboundary enforces the service's panic-containment
-// invariant: every goroutine launched inside repro/internal/service
-// starts behind a recover boundary.
+// invariant: every goroutine launched inside repro/internal/service or
+// repro/internal/replicate starts behind a recover boundary.
 //
 // A panic on a request goroutine is caught by the service's recover
 // middleware; a panic on a goroutine the service spawned itself is
 // caught by nothing and kills the daemon — exactly the failure the
 // crash-safety work exists to prevent. resilience.Go wraps the spawn in
 // the recover-and-count boundary, so the rule is mechanical: no bare go
-// statements in the service package, ever. Other packages are out of
-// scope — libraries below the service don't spawn daemon goroutines,
-// and binaries own their own lifecycles.
+// statements in the scoped packages, ever. internal/replicate is in
+// scope because its machinery (hub fan-out, follower tailer) runs
+// inside the daemon for the life of the process: a replication goroutine
+// that panics bare would kill a primary mid-fleet. Other packages are
+// out of scope — libraries below the service don't spawn daemon
+// goroutines, and binaries own their own lifecycles.
 package recoverboundary
 
 import (
@@ -19,32 +22,38 @@ import (
 	"repro/internal/analysis"
 )
 
-// Analyzer forbids bare go statements in repro/internal/service.
+// Analyzer forbids bare go statements in repro/internal/service and
+// repro/internal/replicate.
 var Analyzer = &analysis.Analyzer{
 	Name: "recoverboundary",
-	Doc: "forbid bare go statements in internal/service: service goroutines " +
-		"must start via resilience.Go so a panic is recovered and counted",
+	Doc: "forbid bare go statements in internal/service and internal/replicate: " +
+		"daemon goroutines must start via resilience.Go so a panic is recovered and counted",
 	Run: run,
 }
 
 // inScope reports whether the package must launch goroutines behind a
 // recover boundary.
 func inScope(pkgPath string) bool {
-	return pkgPath == "repro/internal/service" ||
-		strings.HasPrefix(pkgPath, "repro/internal/service/")
+	for _, p := range []string{"repro/internal/service", "repro/internal/replicate"} {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 func run(pass *analysis.Pass) error {
 	if !inScope(pass.Path()) {
 		return nil
 	}
+	pkg := strings.TrimPrefix(pass.Path(), "repro/")
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				pass.Reportf(g.Pos(),
-					"bare go statement in internal/service: launch goroutines with "+
+					"bare go statement in %s: launch goroutines with "+
 						"resilience.Go(name, onPanic, fn) so a panic hits a recover boundary "+
-						"instead of killing the daemon")
+						"instead of killing the daemon", pkg)
 			}
 			return true
 		})

@@ -11,6 +11,13 @@ func TestRecoverBoundaryService(t *testing.T) {
 	analysistest.Run(t, recoverboundary.Analyzer, "testdata/service", "repro/internal/service")
 }
 
+// TestRecoverBoundaryReplicate pins the widened scope: replication
+// machinery runs inside the daemon, so its goroutines need the same
+// boundary.
+func TestRecoverBoundaryReplicate(t *testing.T) {
+	analysistest.Run(t, recoverboundary.Analyzer, "testdata/replicate", "repro/internal/replicate")
+}
+
 // TestRecoverBoundaryElsewhere checks the scope: bare go statements
 // outside internal/service are some other reviewer's problem.
 func TestRecoverBoundaryElsewhere(t *testing.T) {

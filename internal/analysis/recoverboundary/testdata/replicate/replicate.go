@@ -1,0 +1,19 @@
+// Fixture loaded as repro/internal/replicate: replication machinery
+// lives inside the daemon for the life of the process, so its
+// goroutines need the same recover boundary as the service's.
+package replicate
+
+import "repro/internal/resilience"
+
+func countPanic(string, any) {}
+
+// Tail launches the follower's stream loop the sanctioned way: clean.
+func Tail(run func()) {
+	resilience.Go("replicate-tail", countPanic, run)
+}
+
+// Ship spawns a fan-out goroutine no recover boundary protects: a
+// panic here kills the primary mid-fleet.
+func Ship(write func()) {
+	go write() // want `bare go statement in internal/replicate`
+}

@@ -57,6 +57,22 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // clean tail from a truncated one; Open repairs it by truncating.
 var ErrTornTail = errors.New("journal: torn tail")
 
+// ErrDiskFull reports that an append could not reach stable storage
+// because the device is out of space (ENOSPC or a short write). The
+// daemon treats it as a mode change — flip to read-only degraded
+// service — not a crash: solves need no disk.
+var ErrDiskFull = errors.New("journal: disk full")
+
+// ErrClosed reports a Store method called outside its appendable
+// window: before Start or after Close/Abandon.
+var ErrClosed = errors.New("journal: store not open for appends")
+
+// ErrCorrupt reports a journal directory whose segment chain cannot
+// reconstruct history — a missing segment or torn record mid-history.
+// Unlike ErrTornTail at the tail (a crash artifact, repaired in place),
+// corruption before the end means later events cannot be trusted.
+var ErrCorrupt = errors.New("journal: corrupt directory")
+
 // frameInto writes payload's frame header and body into buf, which
 // must be frameSize+len(payload) bytes.
 func frameInto(buf, payload []byte) {
@@ -89,6 +105,18 @@ func readRecord(r *bufio.Reader) ([]byte, error) {
 	}
 	return payload, nil
 }
+
+// EncodeFrame returns payload framed as one journal record — the same
+// [length|CRC-32C|payload] framing segments use. The replication stream
+// reuses it so a follower validates shipped bytes with the exact parser
+// its own boot replay trusts.
+func EncodeFrame(payload []byte) []byte { return newFrameBuffer(payload) }
+
+// ReadFrame reads one framed record from r. It returns io.EOF on a
+// clean end and ErrTornTail when the stream dies mid-record or the
+// checksum fails — a replication tailer maps the latter to a
+// reconnect-and-resync, never an apply.
+func ReadFrame(r *bufio.Reader) ([]byte, error) { return readRecord(r) }
 
 // scanSegment reads every valid record of the file at path, calling fn
 // for each. It returns the byte offset of the end of the valid prefix

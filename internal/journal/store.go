@@ -3,12 +3,14 @@ package journal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // Options configures a Store.
@@ -19,6 +21,14 @@ type Options struct {
 	// reach the kernel before returning (surviving kill -9); callers
 	// bound power-loss exposure with periodic Sync calls.
 	SyncEveryAppend bool
+
+	// RetainSegments keeps that many rotated segments on disk after a
+	// compaction instead of deleting everything the snapshot covers.
+	// Retained segments let a replication cursor read history back past
+	// the newest snapshot, so a briefly-lagging follower catches up by
+	// log shipping instead of a full snapshot bootstrap. Zero preserves
+	// the pre-replication behavior: covered segments are removed.
+	RetainSegments int
 }
 
 // Stats is a snapshot of a Store's counters for observability surfaces.
@@ -65,8 +75,18 @@ type Store struct {
 	torn        bool
 	compactions uint64
 
+	// failAppend, when non-nil, is returned (classified) by every
+	// append in place of the real write — the disk-full test hook.
+	failAppend error
+
 	// segments pending replay, discovered by Open, consumed by Start.
 	pending []segmentFile
+
+	// disk lists every segment currently on disk, sorted ascending by
+	// start; the active segment is last. Cursors resolve reads and
+	// segment hops against it, so it is the single source of truth for
+	// what history remains readable.
+	disk []segmentFile
 }
 
 type segmentFile struct {
@@ -174,21 +194,23 @@ func (s *Store) Start(fn func(payload []byte) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started || s.closed {
-		return errors.New("journal: Start on a started or closed store")
+		return fmt.Errorf("%w: Start on a started or closed store", ErrClosed)
 	}
 
 	expected := s.snapSeq
 	last := -1
+	var covered, replayedSegs []segmentFile
 	for i, seg := range s.pending {
 		if seg.start < s.snapSeq {
-			// Fully covered by the snapshot; a crash between a
-			// compaction's rename and its cleanup leaves these behind.
-			_ = os.Remove(seg.path)
+			// Fully covered by the snapshot. RetainSegments keeps the
+			// newest of these for replication cursors; the rest are
+			// crash artifacts of a compaction cut short before cleanup.
+			covered = append(covered, seg)
 			continue
 		}
 		if seg.start != expected {
-			return fmt.Errorf("journal: missing segment: have %s, expected one starting at %d",
-				filepath.Base(seg.path), expected)
+			return fmt.Errorf("%w: missing segment: have %s, expected one starting at %d",
+				ErrCorrupt, filepath.Base(seg.path), expected)
 		}
 		n := uint64(0)
 		validEnd, torn, err := scanSegment(seg.path, func(p []byte) error {
@@ -212,8 +234,18 @@ func (s *Store) Start(fn func(payload []byte) error) error {
 		}
 		expected += n
 		s.replayed += n
+		replayedSegs = append(replayedSegs, seg)
 		last = i
 	}
+	keep := s.opts.RetainSegments
+	if keep > len(covered) {
+		keep = len(covered)
+	}
+	for _, seg := range covered[:len(covered)-keep] {
+		_ = os.Remove(seg.path)
+	}
+	s.disk = append(s.disk[:0], covered[len(covered)-keep:]...)
+	s.disk = append(s.disk, replayedSegs...)
 	s.seq = expected
 	s.pending = nil
 	return s.openActive(last >= 0)
@@ -224,24 +256,22 @@ func (s *Store) Start(fn func(payload []byte) error) error {
 // current sequence number.
 func (s *Store) openActive(reuse bool) error {
 	name := segName(s.seq)
-	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	if reuse {
+	if reuse && len(s.disk) > 0 {
 		// The newest on-disk segment ends exactly at s.seq after replay
 		// and truncation, so appending continues it; its name keeps the
 		// start it had.
-		segs, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix))
-		if err == nil && len(segs) > 0 {
-			sort.Strings(segs)
-			name = filepath.Base(segs[len(segs)-1])
-		}
+		name = filepath.Base(s.disk[len(s.disk)-1].path)
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, name), flags, 0o644)
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: opening segment: %w", err)
 	}
 	s.f = f
 	if start, ok := parseSeq(name, segPrefix, segSuffix); ok {
 		s.segStart = start
+	}
+	if !reuse || len(s.disk) == 0 {
+		s.disk = append(s.disk, segmentFile{path: filepath.Join(s.dir, name), start: s.seq})
 	}
 	s.started = true
 	return nil
@@ -255,14 +285,14 @@ func (s *Store) Append(payload []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.started || s.closed {
-		return 0, errors.New("journal: Append before Start or after Close")
+		return 0, fmt.Errorf("%w: Append before Start or after Close", ErrClosed)
 	}
 	if err := s.writeRecord(payload); err != nil {
 		return 0, err
 	}
 	if s.opts.SyncEveryAppend {
 		if err := s.f.Sync(); err != nil {
-			return 0, fmt.Errorf("journal: sync: %w", err)
+			return 0, classifyWriteErr(err)
 		}
 	}
 	s.seq++
@@ -276,13 +306,36 @@ func (s *Store) writeRecord(payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("journal: payload %d bytes exceeds limit %d", len(payload), MaxPayload)
 	}
+	if s.failAppend != nil {
+		return classifyWriteErr(s.failAppend)
+	}
 	// Build the frame in one buffer so a crash can tear at most the
 	// tail record, never interleave two.
 	bw := newFrameBuffer(payload)
 	if _, err := s.f.Write(bw); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+		return classifyWriteErr(err)
 	}
 	return nil
+}
+
+// classifyWriteErr maps an append/sync failure to the taxonomy: out of
+// space (ENOSPC, or the short write a full device produces) becomes
+// ErrDiskFull so the daemon can degrade instead of crash; anything else
+// stays an opaque wrapped I/O error.
+func classifyWriteErr(err error) error {
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, io.ErrShortWrite) {
+		return fmt.Errorf("%w: %v", ErrDiskFull, err)
+	}
+	return fmt.Errorf("journal: append: %w", err)
+}
+
+// FailAppends injects err into every subsequent append (nil restores
+// real writes) — the regression hook for disk-full behavior, the
+// moral twin of Abandon for kill -9.
+func (s *Store) FailAppends(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAppend = err
 }
 
 // Sync flushes the active segment to disk — the periodic fdatasync of
@@ -320,7 +373,7 @@ func (s *Store) Compact(snapshot []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.started || s.closed {
-		return errors.New("journal: Compact before Start or after Close")
+		return fmt.Errorf("%w: Compact before Start or after Close", ErrClosed)
 	}
 	seq := s.seq
 
@@ -339,6 +392,9 @@ func (s *Store) Compact(snapshot []byte) error {
 	s.f = f
 	oldStart := s.segStart
 	s.segStart = seq
+	if oldStart < seq {
+		s.disk = append(s.disk, segmentFile{path: filepath.Join(s.dir, segName(seq)), start: seq})
+	}
 
 	// 2. Snapshot: temp write, fsync, atomic rename.
 	tmp := filepath.Join(s.dir, snapName(seq)+".tmp")
@@ -351,9 +407,14 @@ func (s *Store) Compact(snapshot []byte) error {
 	syncDir(s.dir)
 
 	// 3. Cleanup: anything strictly before the new snapshot is covered
-	// by it. Best-effort — leftovers are skipped and removed next Open.
-	if oldStart < seq {
-		_ = os.Remove(filepath.Join(s.dir, segName(oldStart)))
+	// by it, but RetainSegments rotated segments stay on disk so
+	// replication cursors can still read recent history. Best-effort —
+	// leftovers are skipped and removed next Open.
+	if drop := len(s.disk) - 1 - s.opts.RetainSegments; drop > 0 {
+		for _, seg := range s.disk[:drop] {
+			_ = os.Remove(seg.path)
+		}
+		s.disk = append(s.disk[:0:0], s.disk[drop:]...)
 	}
 	if s.snapSeq < seq && s.snapshot != nil {
 		_ = os.Remove(filepath.Join(s.dir, snapName(s.snapSeq)))
@@ -449,6 +510,101 @@ func (s *Store) Stats() Stats {
 		TornTail:    s.torn,
 		Compactions: s.compactions,
 	}
+}
+
+// SnapshotNow returns the newest snapshot payload and the sequence
+// number it covers, tracking compactions as they happen (unlike
+// Snapshot, which is a boot-time accessor with no synchronization).
+// The payload must be treated as read-only.
+func (s *Store) SnapshotNow() (payload []byte, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshot, s.snapSeq
+}
+
+// OldestRetained returns the sequence number from which on-disk history
+// is readable: a cursor can serve events in (OldestRetained, Seq].
+// Followers whose position predates it need a snapshot bootstrap.
+func (s *Store) OldestRetained() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.disk) > 0 {
+		return s.disk[0].start
+	}
+	return s.seq
+}
+
+// Reset discards the store's entire on-disk history and re-roots it at
+// seq with the given snapshot — the follower's snapshot-bootstrap
+// install, when its local log is not a prefix of the new primary's.
+// A crash mid-reset can leave an empty or stale directory; either way
+// the follower's next connect detects the mismatch and resets again,
+// so the window is self-healing rather than corrupting.
+func (s *Store) Reset(snapshot []byte, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.closed {
+		return fmt.Errorf("%w: Reset before Start or after Close", ErrClosed)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		_, isSeg := parseSeq(name, segPrefix, segSuffix)
+		_, isSnap := parseSeq(name, snapPrefix, snapSuffix)
+		if isSeg || isSnap || strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	tmp := filepath.Join(s.dir, snapName(seq)+".tmp")
+	if err := writeSnapshotFile(tmp, snapshot); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName(seq))); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	syncDir(s.dir)
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	s.f = f
+	s.seq, s.segStart, s.snapSeq = seq, seq, seq
+	s.snapshot = snapshot
+	s.disk = append(s.disk[:0:0], segmentFile{path: filepath.Join(s.dir, segName(seq)), start: seq})
+	s.compactions++
+	return nil
+}
+
+// segmentContaining returns the on-disk segment holding event seq+1:
+// the one with the greatest start <= seq.
+func (s *Store) segmentContaining(seq uint64) (path string, start uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.disk) - 1; i >= 0; i-- {
+		if s.disk[i].start <= seq {
+			return s.disk[i].path, s.disk[i].start, true
+		}
+	}
+	return "", 0, false
+}
+
+// segmentAt returns the on-disk segment starting exactly at seq, the
+// hop test a cursor uses to tell a finished segment from a live tail.
+func (s *Store) segmentAt(seq uint64) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.disk) - 1; i >= 0; i-- {
+		if s.disk[i].start == seq {
+			return s.disk[i].path, true
+		}
+	}
+	return "", false
 }
 
 // newFrameBuffer returns payload framed as one record in a fresh

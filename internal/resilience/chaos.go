@@ -1,6 +1,8 @@
 package resilience
 
 import (
+	"errors"
+	"io"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -23,10 +25,18 @@ type ChaosConfig struct {
 	// TearP hijacks the connection and closes it mid-exchange, the
 	// server-side version of a client that vanished.
 	TearP float64
+	// StreamTearP cuts a long-lived stream (the replication feed) after
+	// a random number of bytes — deliberately mid-frame, so readers
+	// must prove their torn-frame resync. StreamTearBytes bounds where
+	// the cut lands (default 64 KiB into the stream).
+	StreamTearP     float64
+	StreamTearBytes int
 }
 
 // enabled reports whether any fault has a chance of firing.
-func (c ChaosConfig) enabled() bool { return c.LatencyP > 0 || c.PanicP > 0 || c.TearP > 0 }
+func (c ChaosConfig) enabled() bool {
+	return c.LatencyP > 0 || c.PanicP > 0 || c.TearP > 0 || c.StreamTearP > 0
+}
 
 // Chaos is the fault-injecting middleware. It sits inside the recover
 // boundary (panics it throws must be caught and answered like any
@@ -37,9 +47,10 @@ type Chaos struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	latencies atomic.Uint64
-	panics    atomic.Uint64
-	tears     atomic.Uint64
+	latencies   atomic.Uint64
+	panics      atomic.Uint64
+	tears       atomic.Uint64
+	streamTears atomic.Uint64
 }
 
 // NewChaos builds a fault injector from cfg; a nil return means chaos
@@ -54,6 +65,63 @@ func NewChaos(cfg ChaosConfig) *Chaos {
 // Injected reports how many faults of each kind have fired.
 func (c *Chaos) Injected() (latencies, panics, tears uint64) {
 	return c.latencies.Load(), c.panics.Load(), c.tears.Load()
+}
+
+// StreamTears reports how many stream tears have fired.
+func (c *Chaos) StreamTears() uint64 { return c.streamTears.Load() }
+
+// ErrStreamTorn is the failure a chaos-torn stream writer reports once
+// its byte budget is spent.
+var ErrStreamTorn = errors.New("chaos: injected stream tear")
+
+// WrapStream decides, per stream, whether to tear it: with probability
+// StreamTearP the returned writer delivers a deterministic number of
+// bytes — cutting whatever frame straddles the boundary — then fails
+// every write. Otherwise w is returned untouched. The decision and the
+// cut point come from the seeded rng, so a chaos run is reproducible.
+func (c *Chaos) WrapStream(w io.Writer) io.Writer {
+	if c.cfg.StreamTearP <= 0 {
+		return w
+	}
+	c.mu.Lock()
+	tear := c.rng.Float64() < c.cfg.StreamTearP
+	limit := c.cfg.StreamTearBytes
+	if limit <= 0 {
+		limit = 64 << 10
+	}
+	// +1 so the budget is never zero: at least one byte flows, meaning
+	// the cut is always observed as a torn frame, not a dead stream.
+	budget := c.rng.Intn(limit) + 1
+	c.mu.Unlock()
+	if !tear {
+		return w
+	}
+	c.streamTears.Add(1)
+	return &tornStreamWriter{w: w, left: budget}
+}
+
+// tornStreamWriter delivers its budget of bytes, short-writing the
+// straddling frame, then fails permanently.
+type tornStreamWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (t *tornStreamWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, ErrStreamTorn
+	}
+	if len(p) <= t.left {
+		n, err := t.w.Write(p)
+		t.left -= n
+		return n, err
+	}
+	n, err := t.w.Write(p[:t.left])
+	t.left -= n
+	if err != nil {
+		return n, err
+	}
+	return n, ErrStreamTorn
 }
 
 // roll draws the three fault decisions for one request under the lock,

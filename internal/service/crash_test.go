@@ -78,9 +78,19 @@ func (m mutation) apply(t *testing.T, h http.Handler) bool {
 	}
 }
 
-// deviceStates snapshots every controller's state.
+// deviceStates snapshots every controller's state under all shard
+// locks — the same consistent cut compaction takes — so it is safe to
+// call while a replication tailer is applying frames concurrently.
 func deviceStates(t *testing.T, svc *Service) []reap.ControllerState {
 	t.Helper()
+	for _, sh := range svc.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(svc.shards) - 1; i >= 0; i-- {
+			svc.shards[i].mu.Unlock()
+		}
+	}()
 	states := make([]reap.ControllerState, svc.cfg.Devices)
 	for d := range states {
 		ctl, err := svc.deviceFor(d)

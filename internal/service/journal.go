@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -222,6 +223,7 @@ func (s *Service) fingerprint() string {
 func (s *Service) openJournal() error {
 	store, err := journal.Open(s.cfg.JournalDir, journal.Options{
 		SyncEveryAppend: s.cfg.FsyncPolicy == FsyncAlways,
+		RetainSegments:  s.cfg.RetainSegments,
 	})
 	if err != nil {
 		return err
@@ -293,6 +295,13 @@ func (s *Service) replayEvent(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("malformed journal event: %w", err)
 	}
+	return s.applyEvent(ev)
+}
+
+// applyEvent applies one decoded journal event to the fleet — shared by
+// boot replay (no locks: not serving yet) and the follower's stream
+// applier (which holds the touched shards' locks; see replication.go).
+func (s *Service) applyEvent(ev *journalEvent) error {
 	switch ev.Op {
 	case opReport:
 		for _, rep := range ev.Reports {
@@ -334,7 +343,9 @@ func (s *Service) replayEvent(payload []byte) error {
 
 // journalAppend logs one event, a no-op when journaling is off. Callers
 // hold the lock of every shard the event mutated, which is what pins
-// per-shard journal order to apply order.
+// per-shard journal order to apply order. On a replicating primary the
+// append routes through the hub, which ships the event to every live
+// follower before returning — acked ⇒ journaled ⇒ shipped.
 func (s *Service) journalAppend(ev *journalEvent) *wire.Error {
 	if s.store == nil {
 		return nil
@@ -343,10 +354,24 @@ func (s *Service) journalAppend(ev *journalEvent) *wire.Error {
 	if err != nil {
 		return wire.Errorf(wire.CodeInternal, "encoding journal event: %v", err)
 	}
-	if _, err := s.store.Append(payload); err != nil {
+	var aerr error
+	if s.hub != nil {
+		_, aerr = s.hub.Append(payload)
+	} else {
+		_, aerr = s.store.Append(payload)
+	}
+	if aerr != nil {
+		if errors.Is(aerr, journal.ErrDiskFull) {
+			// Out of disk: flip to sticky read-only degraded mode — this
+			// mutation and all later ones answer 503 degraded (applied but
+			// unacknowledged, the same at-least-once contract as any
+			// journal failure) while stateless solves keep serving.
+			s.degraded.Store(true)
+			return wire.Errorf(wire.CodeDegraded, "journal disk full, node now read-only: %v", aerr)
+		}
 		// The mutation is applied but not durable: answer 500 so the
 		// client does not treat it as acknowledged.
-		return wire.Errorf(wire.CodeInternal, "journal append: %v", err)
+		return wire.Errorf(wire.CodeInternal, "journal append: %v", aerr)
 	}
 	return nil
 }
@@ -422,11 +447,18 @@ func (s *Service) maintain() {
 	}
 }
 
-// Close stops the maintenance loop, compacts a final snapshot so the
-// next boot replays nothing, and closes the journal. Safe to call more
-// than once; a Service without a journal closes trivially.
+// Close stops the replication tail and hub, stops the maintenance
+// loop, compacts a final snapshot so the next boot replays nothing, and
+// closes the journal. Safe to call more than once; a Service without a
+// journal closes trivially.
 func (s *Service) Close() error {
 	s.closeOnce.Do(func() {
+		s.promoteMu.Lock()
+		s.stopTailLocked()
+		s.promoteMu.Unlock()
+		if s.hub != nil {
+			s.hub.Close() // detaches streams; their handlers return
+		}
 		if s.stop != nil {
 			close(s.stop)
 		}

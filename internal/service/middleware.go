@@ -89,7 +89,7 @@ func (s *Service) gateMiddleware(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/stats" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/v1/stats" || replicationControl(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -106,15 +106,15 @@ func (s *Service) gateMiddleware(next http.Handler) http.Handler {
 }
 
 // deadlineMiddleware bounds each request's context by the client's
-// X-Deadline-Ms header clamped into server policy. The telemetry
-// stream is exempt: it is long-lived by design and bounded per event
-// by the work it does, not per connection.
+// X-Deadline-Ms header clamped into server policy. The telemetry and
+// replication streams are exempt: both are long-lived by design and
+// bounded per event by the work they do, not per connection.
 func (s *Service) deadlineMiddleware(next http.Handler) http.Handler {
 	if s.cfg.Deadline.Default <= 0 && s.cfg.Deadline.Max <= 0 {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/v1/telemetry" {
+		if r.URL.Path == "/v1/telemetry" || r.URL.Path == "/v1/replicate" {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -47,6 +47,7 @@ import (
 
 	reap "repro"
 	"repro/internal/journal"
+	"repro/internal/replicate"
 	"repro/internal/resilience"
 	"repro/wire"
 )
@@ -93,6 +94,26 @@ type Config struct {
 	// SnapshotEvery compacts the journal after this many appends
 	// (default 4096), bounding replay time at the next boot.
 	SnapshotEvery uint64
+	// Role selects the replication role: "" or "primary" acknowledges
+	// mutations (and, when journaled, serves GET /v1/replicate to
+	// followers); "follower" tails PrimaryAddr, refuses mutations with
+	// 503 not_primary, and serves stateless solves normally. Follower
+	// requires JournalDir and PrimaryAddr.
+	Role string
+	// PrimaryAddr is the host:port a follower replicates from, and the
+	// Leader hint attached to its refusals.
+	PrimaryAddr string
+	// FollowerID names this follower in the primary's lag accounting
+	// (default "follower").
+	FollowerID string
+	// RetainSegments keeps that many rotated journal segments after each
+	// compaction so replication cursors can read recent history; 0
+	// defaults to 4 when journaling is on, negative retains none (the
+	// pre-replication behavior).
+	RetainSegments int
+	// Heartbeat is the replication stream keepalive interval (default
+	// 500ms): it bounds how stale a follower's lag measurement can get.
+	Heartbeat time.Duration
 	// QuarantineAfter takes a shard out of service (503
 	// shard_quarantined) after that many panics inside its handlers —
 	// state that keeps panicking can no longer be trusted. 0 disables
@@ -119,6 +140,24 @@ type Service struct {
 	store   *journal.Store // nil when journaling is off
 	gate    *resilience.Gate
 	chaos   *resilience.Chaos // nil when chaos is off
+
+	// Replication state (see replication.go). hub exists on every
+	// journaled node; tailer only on one booted as a follower.
+	hub        *replicate.Hub
+	tailer     *replicate.Tailer
+	tailCancel context.CancelFunc
+	tailDone   chan struct{}
+	promoteMu  sync.Mutex // serializes promote and Close teardown
+
+	epoch        atomic.Uint64 // persisted fencing term
+	maxSeenEpoch atomic.Uint64 // highest epoch observed from peers/clients
+	follower     atomic.Bool
+	fenced       atomic.Bool // ex-primary that saw a higher epoch
+	degraded     atomic.Bool // journal disk full: read-only
+
+	primarySeq atomic.Uint64 // follower: primary's seq as of last frame
+	lastFrame  atomic.Int64  // follower: unixnano of last stream frame
+	applied    atomic.Uint64 // follower: replicated events applied
 
 	draining atomic.Bool
 
@@ -187,6 +226,26 @@ func New(cfg Config) (*Service, error) {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = 4096
 	}
+	switch cfg.Role {
+	case "", wire.RolePrimary:
+	case wire.RoleFollower:
+		if cfg.JournalDir == "" || cfg.PrimaryAddr == "" {
+			return nil, fmt.Errorf("%w: follower role requires a journal dir and a primary address",
+				reap.ErrInvalidConfig)
+		}
+		if cfg.FollowerID == "" {
+			cfg.FollowerID = "follower"
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown role %q (want %q or %q)",
+			reap.ErrInvalidConfig, cfg.Role, wire.RolePrimary, wire.RoleFollower)
+	}
+	switch {
+	case cfg.RetainSegments == 0:
+		cfg.RetainSegments = 4
+	case cfg.RetainSegments < 0:
+		cfg.RetainSegments = 0
+	}
 	s := &Service{cfg: cfg}
 	s.gate = resilience.NewGate(cfg.MaxInflight)
 	s.chaos = resilience.NewChaos(cfg.Chaos)
@@ -230,8 +289,22 @@ func New(cfg Config) (*Service, error) {
 		if err := s.openJournal(); err != nil {
 			return nil, fmt.Errorf("service journal: %w", err)
 		}
+		epoch, err := replicate.LoadEpoch(cfg.JournalDir)
+		if err != nil {
+			return nil, fmt.Errorf("service epoch: %w", err)
+		}
+		s.epoch.Store(epoch)
+		hubCfg := replicate.HubConfig{Store: s.store, Epoch: s.epoch.Load, Heartbeat: cfg.Heartbeat}
+		if s.chaos != nil {
+			hubCfg.WrapStream = s.chaos.WrapStream
+		}
+		s.hub = replicate.NewHub(hubCfg)
 		s.stop = make(chan struct{})
 		resilience.Go("journal-maintenance", s.backgroundPanic, s.maintain)
+		if cfg.Role == wire.RoleFollower {
+			s.follower.Store(true)
+			s.startTail()
+		}
 	}
 	return s, nil
 }
@@ -288,6 +361,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
+	mux.HandleFunc("POST /v1/replicate/ack", s.handleReplicateAck)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	var h http.Handler = mux
 	h = s.deadlineMiddleware(h)
 	h = s.gateMiddleware(h)
@@ -410,6 +486,9 @@ func (s *Service) handleBatchSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r, 0) { // reports are cheap: drain-gated, not rate-charged
+		return
+	}
+	if !s.gateWrite(w, r) {
 		return
 	}
 	var req wire.ReportRequest
@@ -602,6 +681,9 @@ func (s *Service) handleAlpha(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r, 0) { // config changes are rare: drain-gated only
 		return
 	}
+	if !s.gateWrite(w, r) {
+		return
+	}
 	var req wire.AlphaRequest
 	if err := wire.DecodeStrict(r.Body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, wire.AsError(err))
@@ -651,6 +733,9 @@ func (s *Service) setAlpha(device int, alpha float64) (werr *wire.Error) {
 // abandons a half-processed event.
 func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r, 0) { // charged per event below, not per stream
+		return
+	}
+	if !s.gateWrite(w, r) { // every telemetry event mutates state
 		return
 	}
 	tenant := r.Header.Get("X-Tenant")
@@ -800,17 +885,29 @@ func (s *Service) Stats() *wire.StatsResponse {
 			FsyncPolicy: s.cfg.FsyncPolicy,
 		}
 	}
+	resp.Replication = s.replicationStats()
 	return resp
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := &wire.HealthzResponse{V: wire.Version, Status: wire.HealthOK}
+	if s.cfg.JournalDir != "" {
+		resp.Role = s.role()
+		resp.Epoch = s.epoch.Load()
+		if s.follower.Load() {
+			if lf := s.lastFrame.Load(); lf != 0 {
+				lag := time.Since(time.Unix(0, lf)).Seconds()
+				resp.ReplicationLagS = &lag
+			}
+		}
+	}
 	if s.draining.Load() {
+		resp.Status = wire.HealthDraining
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-		writeJSON(w, http.StatusServiceUnavailable,
-			&wire.HealthzResponse{V: wire.Version, Status: wire.HealthDraining})
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, &wire.HealthzResponse{V: wire.Version, Status: wire.HealthOK})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusFor maps wire error codes onto HTTP statuses.
@@ -821,8 +918,11 @@ func statusFor(e *wire.Error) int {
 		return http.StatusBadRequest
 	case wire.CodeRateLimited:
 		return http.StatusTooManyRequests
-	case wire.CodeDraining, wire.CodeOverloaded, wire.CodeShardQuarantined:
+	case wire.CodeDraining, wire.CodeOverloaded, wire.CodeShardQuarantined,
+		wire.CodeNotPrimary, wire.CodeDegraded:
 		return http.StatusServiceUnavailable
+	case wire.CodeStaleEpoch:
+		return http.StatusConflict
 	case wire.CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case wire.CodeInfeasible, wire.CodeSolverFailure:

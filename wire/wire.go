@@ -235,10 +235,11 @@ type StatsResponse struct {
 	ShardsQuarantined int    `json:"shards_quarantined"`
 	// TotalBatteryJ sums every owned device's battery charge — the
 	// fleet aggregate that must reconcile across a crash and replay.
-	TotalBatteryJ float64       `json:"total_battery_j"`
-	Draining      bool          `json:"draining"`
-	Cache         *CacheStats   `json:"cache,omitempty"`
-	Journal       *JournalStats `json:"journal,omitempty"`
+	TotalBatteryJ float64           `json:"total_battery_j"`
+	Draining      bool              `json:"draining"`
+	Cache         *CacheStats       `json:"cache,omitempty"`
+	Journal       *JournalStats     `json:"journal,omitempty"`
+	Replication   *ReplicationStats `json:"replication,omitempty"`
 }
 
 // JournalStats mirrors the write-ahead journal's counters on the wire.
@@ -260,19 +261,111 @@ type JournalStats struct {
 	FsyncPolicy string `json:"fsync_policy"`
 }
 
+// ReplicationStats is the hot-standby replication block of /v1/stats.
+// Role decides which halves are meaningful: a primary reports its
+// followers' positions, a follower reports its own stream health.
+type ReplicationStats struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Epoch is the node's current fencing term.
+	Epoch uint64 `json:"epoch"`
+	// Primary (follower only) is the address being tailed; Connected
+	// whether the stream is currently up.
+	Primary   string `json:"primary,omitempty"`
+	Connected bool   `json:"connected,omitempty"`
+	// LagEvents (follower) is primary seq minus locally applied seq as
+	// of the last frame; LagS how long since any frame arrived.
+	LagEvents uint64  `json:"lag_events,omitempty"`
+	LagS      float64 `json:"lag_s,omitempty"`
+	// Applied counts replicated events applied; Reconnects stream
+	// re-establishments; Resyncs snapshot re-bootstraps forced by
+	// divergence or retention.
+	Applied    uint64 `json:"applied,omitempty"`
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	Resyncs    uint64 `json:"resyncs,omitempty"`
+	// Followers (primary only) is the per-follower shipped/acked view.
+	Followers []FollowerLag `json:"followers,omitempty"`
+}
+
+// FollowerLag is one follower's position as the primary sees it.
+type FollowerLag struct {
+	ID string `json:"id"`
+	// Live reports an attached stream; a false entry is the last known
+	// ack of a detached follower.
+	Live       bool    `json:"live"`
+	ShippedSeq uint64  `json:"shipped_seq"`
+	AckSeq     uint64  `json:"ack_seq"`
+	AckAgeS    float64 `json:"ack_age_s"`
+}
+
+// PromoteRequest is POST /v1/promote: the admin failover action that
+// turns a follower into the primary, bumping the fencing epoch.
+type PromoteRequest struct {
+	V int `json:"v"`
+}
+
+// PromoteResponse acknowledges a promotion (idempotent on a node that
+// is already primary) with the epoch now in force and the journal
+// position the node serves from.
+type PromoteResponse struct {
+	V     int    `json:"v"`
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// ReplicateAckRequest is POST /v1/replicate/ack: a follower reporting
+// the sequence number it has durably applied through, so the primary's
+// lag accounting stays honest between stream frames.
+type ReplicateAckRequest struct {
+	V     int    `json:"v"`
+	ID    string `json:"id"`
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// ReplicateAckResponse acknowledges an ack.
+type ReplicateAckResponse struct {
+	V int `json:"v"`
+}
+
 // HealthzResponse is the GET /healthz body. Status is machine-readable
 // so orchestrators can tell a draining daemon (which will exit soon and
 // must stop receiving traffic, 503) from a dead one (no answer at all):
 // "ok" or "draining".
+//
+// Role/Epoch/ReplicationLagS surface the replication state a load
+// balancer routes on: "primary" accepts mutations, "follower" serves
+// solves and names its leader, "degraded" is a primary refusing
+// mutations (disk full) whose solves still work.
 type HealthzResponse struct {
 	V      int    `json:"v"`
 	Status string `json:"status"`
+	// Role is "primary", "follower" or "degraded"; empty for a daemon
+	// running without a journal (implicitly a primary with no
+	// replication machinery).
+	Role string `json:"role,omitempty"`
+	// Epoch is the fencing term currently in force.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// ReplicationLagS (follower only) is seconds since the last frame
+	// arrived from the primary; nil otherwise.
+	ReplicationLagS *float64 `json:"replication_lag_s,omitempty"`
 }
 
 // Healthz status values.
 const (
 	HealthOK       = "ok"
 	HealthDraining = "draining"
+)
+
+// Healthz role values. degraded (read-only: journal disk full) and
+// fenced (a higher epoch is in force elsewhere) are what a load
+// balancer must route mutations away from.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+	RoleDegraded = "degraded"
+	RoleFenced   = "fenced"
 )
 
 // CacheStats mirrors the solve cache's counters on the wire.
@@ -328,6 +421,16 @@ const (
 	// CodeShardQuarantined: the shard owning the requested device is
 	// quarantined after repeated panics; other shards still serve.
 	CodeShardQuarantined = "shard_quarantined"
+	// CodeNotPrimary: this node is a replication follower; mutations go
+	// to the primary named by the Leader response header.
+	CodeNotPrimary = "not_primary"
+	// CodeStaleEpoch: the request's fencing epoch and the node's
+	// disagree — one of the two is a fenced ex-primary. Re-resolve the
+	// leader and its epoch before retrying.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeDegraded: the node's journal disk is full; it serves stateless
+	// solves but refuses mutations until an operator intervenes.
+	CodeDegraded = "degraded"
 	// CodeInternal: any failure the taxonomy does not classify.
 	CodeInternal = "internal"
 )
